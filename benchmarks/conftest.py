@@ -1,0 +1,29 @@
+"""Benchmark harness helpers.
+
+Every experiment writes its regenerated table/figure to
+``benchmarks/results/<experiment>.txt`` so the artifacts survive the run,
+and asserts the *shape* the paper reports (who wins, by what factor,
+where behaviour flips) inside the benchmark itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content)
+    print(f"\n[{name}] written to {path}\n{content}")

@@ -1,0 +1,182 @@
+"""Experiment F1 — regenerate Figure 1 (the decision tree).
+
+The figure maps data-confidentiality requirements to mechanisms.  We
+reproduce it two ways:
+
+1. **Named scenarios**: the situations the Section 3.2 prose walks
+   through, each asserted to terminate in the mechanism the paper names.
+2. **Exhaustive enumeration**: all 96 consistent requirement combinations,
+   asserting the terminal set and the dominance order of the spine.
+
+The regenerated figure (every scenario's full decision path) is written
+to results/figure1.txt.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.decision import decide_data_confidentiality
+from repro.core.mechanisms import Mechanism
+from repro.core.requirements import DataClassRequirements, DeploymentContext
+
+# (name, requirements, expected primary, expected supplements)
+NAMED_SCENARIOS = [
+    (
+        "right-to-be-forgotten",
+        DataClassRequirements(name="pii", deletion_required=True),
+        Mechanism.OFF_CHAIN_PEER_DATA, [],
+    ),
+    (
+        "secret-ballot",
+        DataClassRequirements(
+            name="votes",
+            private_from_counterparties=True,
+            shared_function_on_private_inputs=True,
+        ),
+        Mechanism.MULTIPARTY_COMPUTATION, [],
+    ),
+    (
+        "sufficient-funds-check",
+        DataClassRequirements(name="balance", private_from_counterparties=True),
+        Mechanism.ZKP_ON_DATA, [],
+    ),
+    (
+        "no-encrypted-sharing-with-audit",
+        DataClassRequirements(
+            name="trades",
+            encrypted_sharing_allowed=False,
+            onchain_record_desired=True,
+        ),
+        Mechanism.SEPARATION_OF_LEDGERS_DATA, [],
+    ),
+    (
+        "irrelevant-data-hidden-from-oracle",
+        DataClassRequirements(
+            name="fx-trade",
+            encrypted_sharing_allowed=False,
+            onchain_record_desired=True,
+            partial_visibility_within_transaction=True,
+        ),
+        Mechanism.SEPARATION_OF_LEDGERS_DATA, [Mechanism.MERKLE_TEAR_OFFS],
+    ),
+    (
+        "no-encrypted-sharing-no-record",
+        DataClassRequirements(
+            name="drafts",
+            encrypted_sharing_allowed=False,
+            onchain_record_desired=False,
+        ),
+        Mechanism.OFF_CHAIN_PEER_DATA, [],
+    ),
+    (
+        "uninvolved-validators",
+        DataClassRequirements(
+            name="regulated", uninvolved_validation_required=True
+        ),
+        Mechanism.TRUSTED_EXECUTION_ENVIRONMENT, [],
+    ),
+    (
+        "unconstrained-default",
+        DataClassRequirements(name="routine"),
+        Mechanism.SEPARATION_OF_LEDGERS_DATA, [],
+    ),
+]
+
+FLAGS = (
+    "deletion_required",
+    "private_from_counterparties",
+    "shared_function_on_private_inputs",
+    "encrypted_sharing_allowed",
+    "onchain_record_desired",
+    "partial_visibility_within_transaction",
+    "uninvolved_validation_required",
+)
+
+
+def consistent_inputs():
+    for values in itertools.product([False, True], repeat=len(FLAGS)):
+        kwargs = dict(zip(FLAGS, values))
+        if kwargs["shared_function_on_private_inputs"] and not kwargs[
+            "private_from_counterparties"
+        ]:
+            continue
+        yield kwargs
+
+
+@pytest.mark.parametrize(
+    "name,requirements,expected_primary,expected_supplements",
+    NAMED_SCENARIOS,
+    ids=[s[0] for s in NAMED_SCENARIOS],
+)
+def test_named_scenario(benchmark, name, requirements, expected_primary,
+                        expected_supplements):
+    """Each prose walkthrough terminates in the paper's mechanism."""
+    recommendation = benchmark(decide_data_confidentiality, requirements)
+    assert recommendation.primary is expected_primary
+    for supplement in expected_supplements:
+        assert supplement in recommendation.supplementary
+
+
+def test_exhaustive_enumeration(benchmark):
+    """All 96 consistent inputs: total, deterministic, correct terminals."""
+
+    def enumerate_all():
+        return [
+            (kwargs, decide_data_confidentiality(
+                DataClassRequirements(name="enum", **kwargs)
+            ))
+            for kwargs in consistent_inputs()
+        ]
+
+    outcomes = benchmark(enumerate_all)
+    assert len(outcomes) == 96
+    terminals = {rec.primary for __, rec in outcomes}
+    assert terminals == {
+        Mechanism.OFF_CHAIN_PEER_DATA,
+        Mechanism.MULTIPARTY_COMPUTATION,
+        Mechanism.ZKP_ON_DATA,
+        Mechanism.SEPARATION_OF_LEDGERS_DATA,
+        Mechanism.TRUSTED_EXECUTION_ENVIRONMENT,
+    }
+    # Spine dominance: deletion beats everything; private inputs beat
+    # the encrypted-sharing branch.
+    for kwargs, rec in outcomes:
+        if kwargs["deletion_required"]:
+            assert rec.primary is Mechanism.OFF_CHAIN_PEER_DATA
+        elif kwargs["private_from_counterparties"]:
+            assert rec.primary in (
+                Mechanism.MULTIPARTY_COMPUTATION, Mechanism.ZKP_ON_DATA
+            )
+
+    # Write the regenerated figure: named scenario paths + terminal census.
+    from repro.core.decision import render_figure
+
+    lines = [render_figure(), "", "Figure 1 regenerated (decision paths)", "=" * 60]
+    for name, requirements, __, __s in NAMED_SCENARIOS:
+        lines.append("")
+        lines.append(f"scenario: {name}")
+        lines.extend(decide_data_confidentiality(requirements).describe().splitlines())
+    lines.append("")
+    lines.append("terminal census over all 96 consistent inputs:")
+    census: dict[str, int] = {}
+    for __, rec in outcomes:
+        census[rec.primary.value] = census.get(rec.primary.value, 0) + 1
+    for terminal, count in sorted(census.items()):
+        lines.append(f"  {terminal:45s} {count:3d}")
+    write_result("figure1", "\n".join(lines))
+
+
+def test_deployment_modifier(benchmark):
+    """The off-diagram branch: untrusted operators add encryption."""
+    untrusted = DeploymentContext(ordering_service_trusted=False)
+
+    recommendation = benchmark(
+        decide_data_confidentiality,
+        DataClassRequirements(name="d"),
+        untrusted,
+    )
+    assert Mechanism.SYMMETRIC_ENCRYPTION in recommendation.supplementary

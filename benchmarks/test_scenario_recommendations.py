@@ -1,0 +1,126 @@
+"""Experiment R1 (extension) — platform recommendation per scenario.
+
+The design guide's end product is "which platform fits my use case".
+This bench runs the complete pipeline — requirements → Figure 1 decisions
+→ Table 1 scoring — for a panel of named enterprise scenarios and emits
+the recommendation table, asserting the orderings the paper's Section 5
+narrative implies (tear-off-heavy workloads favour Corda; deletion and
+anonymous-client workloads favour Fabric; Quorum trails whenever
+deletion, tear-offs, or external engines are required).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.guide import design_solution
+from repro.core.matrix import score_platforms
+from repro.core.requirements import (
+    DataClassRequirements,
+    DeploymentContext,
+    InteractionPrivacy,
+    LogicRequirements,
+    UseCaseRequirements,
+)
+
+SCENARIOS: dict[str, UseCaseRequirements] = {
+    "letter-of-credit": UseCaseRequirements(
+        name="letter-of-credit",
+        interaction_privacy=InteractionPrivacy.GROUP_PRIVATE,
+        data_classes=(
+            DataClassRequirements(name="pii", deletion_required=True),
+            DataClassRequirements(name="trade"),
+        ),
+    ),
+    "fx-trading-with-oracle": UseCaseRequirements(
+        name="fx-trading-with-oracle",
+        interaction_privacy=InteractionPrivacy.SUBGROUP_UNLINKABLE,
+        data_classes=(
+            DataClassRequirements(
+                name="trades",
+                encrypted_sharing_allowed=False,
+                partial_visibility_within_transaction=True,
+            ),
+        ),
+        logic=LogicRequirements(keep_logic_private=True, need_any_language=True),
+    ),
+    "anonymous-marketplace": UseCaseRequirements(
+        name="anonymous-marketplace",
+        interaction_privacy=InteractionPrivacy.INDIVIDUAL_ANONYMOUS,
+        data_classes=(DataClassRequirements(name="orders"),),
+        logic=LogicRequirements(keep_logic_private=True),
+    ),
+    "gdpr-heavy-records": UseCaseRequirements(
+        name="gdpr-heavy-records",
+        interaction_privacy=InteractionPrivacy.GROUP_PRIVATE,
+        data_classes=(
+            DataClassRequirements(name="patient-data", deletion_required=True),
+            DataClassRequirements(name="consent-log"),
+        ),
+        deployment=DeploymentContext(ordering_service_trusted=False),
+    ),
+    "consortium-voting": UseCaseRequirements(
+        name="consortium-voting",
+        interaction_privacy=InteractionPrivacy.GROUP_PRIVATE,
+        data_classes=(
+            DataClassRequirements(
+                name="votes",
+                private_from_counterparties=True,
+                shared_function_on_private_inputs=True,
+            ),
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_scenario_pipeline(benchmark, scenario):
+    """Full requirements -> design -> ranking, timed per scenario."""
+    requirements = SCENARIOS[scenario]
+
+    def pipeline():
+        design = design_solution(requirements)
+        return design, score_platforms(design)
+
+    design, scores = benchmark(pipeline)
+    assert scores[0].score >= scores[-1].score
+    return None
+
+
+def test_recommendation_table(benchmark):
+    """Emit the full panel and pin the paper-implied orderings."""
+
+    def build_table():
+        table = {}
+        for name, requirements in SCENARIOS.items():
+            design = design_solution(requirements)
+            table[name] = {
+                s.platform: s.score for s in score_platforms(design)
+            }
+        return table
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    lines = ["R1: platform recommendation per scenario (Table 1 scoring)",
+             f"{'scenario':26s} {'fabric':>8s} {'corda':>8s} {'quorum':>8s} {'best':>8s}"]
+    for name, scores in table.items():
+        best = max(scores, key=scores.get)
+        lines.append(
+            f"{name:26s} {scores['fabric']:>8.2f} {scores['corda']:>8.2f} "
+            f"{scores['quorum']:>8.2f} {best:>8s}"
+        )
+    write_result("r1_scenario_recommendations", "\n".join(lines))
+
+    # Paper-implied shapes:
+    # tear-offs + external engine + one-time keys => Corda strictly best.
+    fx = table["fx-trading-with-oracle"]
+    assert fx["corda"] > fx["fabric"] > fx["quorum"]
+    # anonymous clients (Idemix) => Fabric strictly best.
+    anon = table["anonymous-marketplace"]
+    assert anon["fabric"] > anon["corda"]
+    assert anon["fabric"] > anon["quorum"]
+    # deletion-required => Quorum strictly worst.
+    for scenario in ("letter-of-credit", "gdpr-heavy-records"):
+        scores = table[scenario]
+        assert scores["quorum"] < scores["fabric"]
+        assert scores["quorum"] < scores["corda"]

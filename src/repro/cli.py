@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Four subcommands expose the paper's artifacts without writing any code:
+
+- ``repro table1``   — regenerate Table 1 from capability probes and diff
+  it against the published matrix.
+- ``repro figure1``  — print the decision path for a requirements spec
+  given as flags.
+- ``repro design``   — run the full guide over a JSON requirements file
+  and emit the markdown report.
+- ``repro audit``    — run the leakage audit across the three platforms.
+
+Run ``python -m repro <subcommand> --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.decision import decide_data_confidentiality
+from repro.core.guide import design_solution
+from repro.core.requirements import (
+    DataClassRequirements,
+    DeploymentContext,
+    InteractionPrivacy,
+    LogicRequirements,
+    UseCaseRequirements,
+)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core.probe import compare_with_paper
+
+    comparison = compare_with_paper()
+    print(comparison.render())
+    return 0 if comparison.agreement_ratio == 1.0 else 1
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    requirements = DataClassRequirements(
+        name=args.name,
+        deletion_required=args.deletion_required,
+        private_from_counterparties=args.private_from_counterparties,
+        shared_function_on_private_inputs=args.shared_function,
+        encrypted_sharing_allowed=not args.no_encrypted_sharing,
+        onchain_record_desired=not args.no_onchain_record,
+        partial_visibility_within_transaction=args.partial_visibility,
+        uninvolved_validation_required=args.uninvolved_validation,
+    )
+    deployment = DeploymentContext(
+        ordering_service_trusted=not args.untrusted_orderer,
+        third_party_node_admin=args.third_party_admin,
+    )
+    recommendation = decide_data_confidentiality(requirements, deployment)
+    print(recommendation.describe())
+    return 0
+
+
+def requirements_from_json(data: dict) -> UseCaseRequirements:
+    """Build a :class:`UseCaseRequirements` from a plain JSON dict.
+
+    Schema::
+
+        {
+          "name": "...",
+          "interaction_privacy": "none|group-private|subgroup-unlinkable|individual-anonymous",
+          "data_classes": [{"name": "...", "<flag>": true, ...}, ...],
+          "logic": {"keep_logic_private": true, ...},
+          "deployment": {"ordering_service_trusted": false, ...}
+        }
+    """
+    data_classes = tuple(
+        DataClassRequirements(**dc) for dc in data.get("data_classes", [])
+    )
+    return UseCaseRequirements(
+        name=data["name"],
+        interaction_privacy=InteractionPrivacy(
+            data.get("interaction_privacy", "none")
+        ),
+        data_classes=data_classes,
+        logic=LogicRequirements(**data.get("logic", {})),
+        deployment=DeploymentContext(**data.get("deployment", {})),
+    )
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.report import render_markdown
+
+    if args.requirements == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.requirements, encoding="utf-8") as handle:
+            data = json.load(handle)
+    requirements = requirements_from_json(data)
+    design = design_solution(requirements)
+    print(render_markdown(design))
+    return 0
+
+
+def _cmd_threats(args: argparse.Namespace) -> int:
+    from repro.core.threats import evaluate_design
+
+    if args.requirements == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.requirements, encoding="utf-8") as handle:
+            data = json.load(handle)
+    design = design_solution(requirements_from_json(data))
+    assessment = evaluate_design(design)
+    print(assessment.render())
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.audit import audit_all
+
+    reports = [report.summary_row() for report in audit_all()]
+    width = max(len(key) for key in reports[0])
+    header = f"{'':{width}s} " + " ".join(f"{r['platform']:>8s}" for r in reports)
+    print(header)
+    for key in reports[0]:
+        if key == "platform":
+            continue
+        row = f"{key:{width}s} " + " ".join(
+            f"{str(r[key]):>8s}" for r in reports
+        )
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Design guide & platform comparison from the "
+        "Middleware'19 privacy/confidentiality paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 from probes")
+    table1.set_defaults(func=_cmd_table1)
+
+    figure1 = sub.add_parser(
+        "figure1", help="walk the Figure 1 decision tree for one data class"
+    )
+    figure1.add_argument("--name", default="data")
+    figure1.add_argument("--deletion-required", action="store_true")
+    figure1.add_argument("--private-from-counterparties", action="store_true")
+    figure1.add_argument("--shared-function", action="store_true")
+    figure1.add_argument("--no-encrypted-sharing", action="store_true")
+    figure1.add_argument("--no-onchain-record", action="store_true")
+    figure1.add_argument("--partial-visibility", action="store_true")
+    figure1.add_argument("--uninvolved-validation", action="store_true")
+    figure1.add_argument("--untrusted-orderer", action="store_true")
+    figure1.add_argument("--third-party-admin", action="store_true")
+    figure1.set_defaults(func=_cmd_figure1)
+
+    design = sub.add_parser(
+        "design", help="full design report from a JSON requirements file"
+    )
+    design.add_argument(
+        "requirements", help="path to a requirements JSON file, or - for stdin"
+    )
+    design.set_defaults(func=_cmd_design)
+
+    threats = sub.add_parser(
+        "threats", help="threat-coverage matrix for a requirements file"
+    )
+    threats.add_argument(
+        "requirements", help="path to a requirements JSON file, or - for stdin"
+    )
+    threats.set_defaults(func=_cmd_threats)
+
+    audit = sub.add_parser("audit", help="run the cross-platform leakage audit")
+    audit.set_defaults(func=_cmd_audit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

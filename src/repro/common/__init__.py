@@ -1,0 +1,20 @@
+"""Shared utilities: errors, canonical serialization, simulated clock, RNG."""
+
+from repro.common.clock import SimClock
+from repro.common.ids import content_id, short
+from repro.common.rng import DeterministicRNG
+from repro.common.serialization import (
+    canonical_bytes,
+    canonical_json,
+    from_canonical_json,
+)
+
+__all__ = [
+    "SimClock",
+    "DeterministicRNG",
+    "canonical_bytes",
+    "canonical_json",
+    "from_canonical_json",
+    "content_id",
+    "short",
+]

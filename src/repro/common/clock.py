@@ -1,0 +1,39 @@
+"""Simulated clock.
+
+All time in the library is logical: the discrete-event network advances a
+:class:`SimClock` and every timestamped artifact (certificates, blocks,
+messages) reads from it.  Nothing in the core ever calls the wall clock,
+which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing logical clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time 0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by *delta* seconds and return the new time."""
+        if delta < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to absolute time *when* (no-op if in the past)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

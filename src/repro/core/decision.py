@@ -1,0 +1,271 @@
+"""The Figure 1 decision tree, executable and traceable.
+
+"Figure 1 aims to guide the reader in mapping transaction confidentiality
+requirements to available mechanisms." (Section 3.2.)  Every recommendation
+returned here carries the full decision path — the question asked at each
+node, the answer, and the paper sentence that justifies the branch — so the
+F1 benchmark can print the tree's behaviour over the whole input space and
+compare it against the paper's prose.
+
+Spine order (from the Section 3.2 walkthrough):
+
+1. deletion required?                     -> off-chain data
+2. data private from counterparties?      -> shared function? MPC : ZKP
+3. encrypted data sharable more widely?
+     no -> on-chain record desired?       -> segregated ledgers
+              (+ tear-offs if partial visibility is needed)
+          else                            -> off-chain data
+4. uninvolved validation required?        -> TEE (homomorphic: future)
+5. default                                -> segregated ledgers preferred;
+                                             symmetric encryption when a
+                                             trusted third party runs the
+                                             ordering service / node
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mechanisms import Maturity, Mechanism, info
+from repro.core.requirements import DataClassRequirements, DeploymentContext
+
+
+@dataclass(frozen=True)
+class DecisionStep:
+    """One node of the tree: what was asked, answered, and why it matters."""
+
+    question: str
+    answer: bool
+    rationale: str
+
+
+@dataclass
+class Recommendation:
+    """The tree's output for one data class."""
+
+    data_class: str
+    primary: Mechanism
+    supplementary: list[Mechanism] = field(default_factory=list)
+    path: list[DecisionStep] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def all_mechanisms(self) -> list[Mechanism]:
+        return [self.primary, *self.supplementary]
+
+    def describe(self) -> str:
+        """Human-readable decision trace for reports and benchmarks."""
+        lines = [f"data class {self.data_class!r}:"]
+        for step in self.path:
+            lines.append(
+                f"  [{'yes' if step.answer else 'no '}] {step.question}"
+            )
+        lines.append(f"  => {info(self.primary).display_name}")
+        for supplement in self.supplementary:
+            lines.append(f"   + {info(supplement).display_name}")
+        for note in self.notes:
+            lines.append(f"   ! {note}")
+        return "\n".join(lines)
+
+
+def decide_data_confidentiality(
+    requirements: DataClassRequirements,
+    deployment: DeploymentContext | None = None,
+) -> Recommendation:
+    """Walk Figure 1 for one data class; returns a traced recommendation."""
+    deployment = deployment or DeploymentContext()
+    path: list[DecisionStep] = []
+    rec = Recommendation(data_class=requirements.name, primary=Mechanism.SEPARATION_OF_LEDGERS_DATA)
+    rec.path = path
+
+    # -- node 1: regulatory deletion
+    deletion = requirements.deletion_required
+    path.append(DecisionStep(
+        question="Does regulation require that this data can be deleted "
+                 "(e.g. the right to be forgotten)?",
+        answer=deletion,
+        rationale="Since distributed ledgers inherently do not allow for "
+                  "the removal of entries, data need to be kept off-chain "
+                  "if deletion is required. (S3.2)",
+    ))
+    if deletion:
+        rec.primary = Mechanism.OFF_CHAIN_PEER_DATA
+        rec.notes.append(
+            "Anchor a hash of the off-chain record on the ledger for an "
+            "audit trail; note pruning only archives, it does not delete."
+        )
+        _maybe_add_encryption(rec, deployment, path)
+        return rec
+
+    # -- node 2: data private even from counterparties
+    private_inputs = requirements.private_from_counterparties
+    path.append(DecisionStep(
+        question="Does the transaction rely on private data that cannot be "
+                 "shared between the transacting parties themselves?",
+        answer=private_inputs,
+        rationale="In some cases, a transaction may rely on private data "
+                  "that cannot be shared between transacting parties. (S3.2)",
+    ))
+    if private_inputs:
+        shared_function = requirements.shared_function_on_private_inputs
+        path.append(DecisionStep(
+            question="Must a shared function be computed over the private "
+                     "values (e.g. a secret ballot)?",
+            answer=shared_function,
+            rationale="If a shared function needs to be computed on private "
+                      "values, such as would be the case for a secret "
+                      "ballot, multiparty computation can be used. (S3.2)",
+        ))
+        if shared_function:
+            rec.primary = Mechanism.MULTIPARTY_COMPUTATION
+        else:
+            rec.primary = Mechanism.ZKP_ON_DATA
+            rec.notes.append(
+                "ZKPs provide boolean affirmation only (e.g. sufficient "
+                "funds) and must be implemented per scenario."
+            )
+        rec.notes.append(_maturity_note(rec.primary))
+        return rec
+
+    # -- node 3: is sharing encrypted data acceptable?
+    encrypted_ok = requirements.encrypted_sharing_allowed
+    path.append(DecisionStep(
+        question="May encrypted data be shared with the wider network "
+                 "(jurisdiction and risk appetite permitting)?",
+        answer=encrypted_ok,
+        rationale="Given enough computing resources, encrypted data can be "
+                  "decrypted, which means that parties may prefer not to "
+                  "share even encrypted data with the wider network. (S3.2)",
+    ))
+    if not encrypted_ok:
+        onchain = requirements.onchain_record_desired
+        path.append(DecisionStep(
+            question="Is an on-chain record still desired (endorsement "
+                     "protocols, append-only audit)?",
+            answer=onchain,
+            rationale="If on-chain records are still desired ... this will "
+                      "usually lead to the implementation of segregated "
+                      "ledgers with constrained membership. (S3.2)",
+        ))
+        if onchain:
+            rec.primary = Mechanism.SEPARATION_OF_LEDGERS_DATA
+            tear_off = requirements.partial_visibility_within_transaction
+            path.append(DecisionStep(
+                question="Does a transaction contain data irrelevant to (and "
+                         "to be hidden from) some participating parties?",
+                answer=tear_off,
+                rationale="Additional Merkle tree tear-offs can be "
+                          "implemented if a transaction contains data "
+                          "irrelevant to one or more participating parties "
+                          "and must be kept private. (S3.2)",
+            ))
+            if tear_off:
+                rec.supplementary.append(Mechanism.MERKLE_TEAR_OFFS)
+            rec.notes.append(
+                "A hash of the data may be published on a shared ledger to "
+                "record that the transaction occurred without revealing it."
+            )
+        else:
+            rec.primary = Mechanism.OFF_CHAIN_PEER_DATA
+        return rec
+
+    # -- node 4: independent validation by uninvolved nodes
+    uninvolved = requirements.uninvolved_validation_required
+    path.append(DecisionStep(
+        question="Must uninvolved network parties independently validate the "
+                 "transaction while the data stays confidential?",
+        answer=uninvolved,
+        rationale="If independent validation while keeping data confidential "
+                  "is desirable, uninvolved nodes can provision trusted "
+                  "execution environments. (S3.2)",
+    ))
+    if uninvolved:
+        rec.primary = Mechanism.TRUSTED_EXECUTION_ENVIRONMENT
+        rec.notes.append(
+            "TEEs additionally keep the business logic confidential."
+        )
+        rec.notes.append(
+            "Homomorphic computation may eventually enable processing of "
+            "encrypted values, but is not mature enough to date."
+        )
+        rec.notes.append(_maturity_note(rec.primary))
+        return rec
+
+    # -- node 5: default — segregation preferred; encryption for trusted
+    # third-party operators
+    path.append(DecisionStep(
+        question="(default) No stricter constraint applies.",
+        answer=True,
+        rationale="Segregated ledgers may more generally be the preferred "
+                  "solution. (S3.2)",
+    ))
+    rec.primary = Mechanism.SEPARATION_OF_LEDGERS_DATA
+    _maybe_add_encryption(rec, deployment, path)
+    return rec
+
+
+def _maybe_add_encryption(
+    rec: Recommendation, deployment: DeploymentContext, path: list[DecisionStep]
+) -> None:
+    """Appendix branch: third-party operators get ciphertext, not data."""
+    needs_encryption = (
+        deployment.third_party_node_admin or not deployment.ordering_service_trusted
+    )
+    path.append(DecisionStep(
+        question="Is a node or the ordering service administered by a third "
+                 "party that must not see raw data?",
+        answer=needs_encryption,
+        rationale="Not captured in this diagram is the case where a node is "
+                  "administered by a third party that may not be trusted "
+                  "with raw data.  In that case, transaction data can be "
+                  "encrypted through symmetric or asymmetric cryptography. "
+                  "(S3.2)",
+    ))
+    if needs_encryption:
+        rec.supplementary.append(Mechanism.SYMMETRIC_ENCRYPTION)
+
+
+def render_figure() -> str:
+    """ASCII rendering of the full Figure 1 structure (static).
+
+    The executable tree is :func:`decide_data_confidentiality`; this
+    renders its shape for reports and the F1 artifact, mirroring the
+    paper's figure.
+    """
+    return "\n".join([
+        "Figure 1 — mapping confidentiality requirements to techniques",
+        "",
+        "[deletion required (right to be forgotten)?]",
+        " |-- yes -> OFF-CHAIN DATA (hash anchor optional)",
+        " `-- no",
+        "     [data private even from transacting counterparties?]",
+        "      |-- yes",
+        "      |   [shared function over the private values?]",
+        "      |    |-- yes -> MULTIPARTY COMPUTATION",
+        "      |    `-- no  -> ZERO-KNOWLEDGE PROOFS (boolean affirmation)",
+        "      `-- no",
+        "          [may encrypted data be shared with the wider network?]",
+        "           |-- no",
+        "           |   [on-chain record still desired?]",
+        "           |    |-- yes -> SEGREGATED LEDGERS",
+        "           |    |          [+ data irrelevant to some parties?]",
+        "           |    |           `-- yes -> + MERKLE TREE TEAR-OFFS",
+        "           |    `-- no  -> OFF-CHAIN DATA",
+        "           `-- yes",
+        "               [uninvolved parties must validate confidentially?]",
+        "                |-- yes -> TRUSTED EXECUTION ENVIRONMENTS",
+        "                |          (homomorphic computation: future)",
+        "                `-- no  -> SEGREGATED LEDGERS (preferred default)",
+        "",
+        "(off-diagram) third-party node admin / untrusted orderer",
+        "              -> + SYMMETRIC/ASYMMETRIC ENCRYPTION",
+    ])
+
+
+def _maturity_note(mechanism: Mechanism) -> str:
+    maturity = info(mechanism).maturity
+    if maturity is Maturity.PRODUCTION:
+        return f"{info(mechanism).display_name} is production-ready."
+    return (
+        f"{info(mechanism).display_name} maturity: {maturity.value} "
+        "(see paper Section 2 caveats)."
+    )

@@ -1,0 +1,174 @@
+"""The mechanism catalog (paper Section 2, rows of Table 1).
+
+Every privacy/confidentiality mechanism the paper names, with the metadata
+the design guide needs: which requirement category it serves, its maturity
+(the paper flags ZKP, MPC, homomorphic encryption, and TEEs as immature or
+scenario-specific), and the properties the Figure 1 decision tree branches
+on (does it allow deletion? does it avoid sharing encrypted data? ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Category(enum.Enum):
+    """The paper's grouping: Section 2.1 / 2.2 / 2.3 plus Table 1's Misc."""
+
+    PARTIES = "parties"
+    TRANSACTIONS = "transactions"
+    LOGIC = "logic"
+    MISC = "misc"
+
+
+class Maturity(enum.Enum):
+    """Deployment readiness per the paper's Section 2 discussion."""
+
+    PRODUCTION = "production"
+    SCENARIO_SPECIFIC = "scenario-specific"  # ZKPs: per-scenario circuits
+    EXPERIMENTAL = "experimental"            # TEEs on ledgers, MPC
+    PROOF_OF_CONCEPT = "proof-of-concept"    # homomorphic computation
+
+
+class Mechanism(enum.Enum):
+    """Every mechanism in Table 1, keyed by (category, name)."""
+
+    # -- privacy of interacting parties (Section 2.1)
+    SEPARATION_OF_LEDGERS_PARTIES = "parties/separation-of-ledgers"
+    ONE_TIME_PUBLIC_KEYS = "parties/one-time-public-keys"
+    ZKP_OF_IDENTITY = "parties/zkp-of-identity"
+
+    # -- confidentiality of transactions and data (Section 2.2)
+    SEPARATION_OF_LEDGERS_DATA = "transactions/separation-of-ledgers"
+    OFF_CHAIN_PEER_DATA = "transactions/off-chain-peer-data"
+    SYMMETRIC_ENCRYPTION = "transactions/symmetric-keys"
+    MERKLE_TEAR_OFFS = "transactions/merkle-tear-offs"
+    ZKP_ON_DATA = "transactions/zero-knowledge-proofs"
+    MULTIPARTY_COMPUTATION = "transactions/multiparty-computation"
+    HOMOMORPHIC_ENCRYPTION = "transactions/homomorphic-encryption"
+
+    # -- confidentiality of business logic (Section 2.3)
+    INSTALL_ON_INVOLVED_NODES = "logic/install-on-involved-nodes"
+    OFF_CHAIN_EXECUTION_ENGINE = "logic/off-chain-execution-engine"
+    TRUSTED_EXECUTION_ENVIRONMENT = "logic/trusted-execution-environment"
+
+    # -- Table 1 Misc rows
+    PRIVATE_SEQUENCING_SERVICE = "misc/private-sequencing-service"
+    OPEN_SOURCE = "misc/open-source"
+
+
+@dataclass(frozen=True)
+class MechanismInfo:
+    """Decision-relevant metadata for one mechanism."""
+
+    mechanism: Mechanism
+    category: Category
+    maturity: Maturity
+    display_name: str
+    # Figure 1 branch properties (transactions category):
+    allows_deletion: bool = False          # data can be erased later
+    avoids_sharing_encrypted: bool = False # no encrypted blobs leave the group
+    keeps_onchain_record: bool = False     # an on-ledger record still exists
+    supports_uninvolved_validation: bool = False  # outsiders can validate
+    hides_raw_values_from_counterparties: bool = False
+    computes_shared_function: bool = False
+    # Section 3.3 logic criteria:
+    keeps_logic_private: bool = False
+    inbuilt_versioning: bool = False
+    hides_from_admin: bool = False
+    any_language: bool = False
+
+
+_INFOS: dict[Mechanism, MechanismInfo] = {}
+
+
+def _register(info: MechanismInfo) -> None:
+    _INFOS[info.mechanism] = info
+
+
+_register(MechanismInfo(
+    Mechanism.SEPARATION_OF_LEDGERS_PARTIES, Category.PARTIES,
+    Maturity.PRODUCTION, "Separation of ledgers",
+))
+_register(MechanismInfo(
+    Mechanism.ONE_TIME_PUBLIC_KEYS, Category.PARTIES,
+    Maturity.PRODUCTION, "One-time public key",
+))
+_register(MechanismInfo(
+    Mechanism.ZKP_OF_IDENTITY, Category.PARTIES,
+    Maturity.PRODUCTION, "Zero knowledge proof of identity",
+))
+_register(MechanismInfo(
+    Mechanism.SEPARATION_OF_LEDGERS_DATA, Category.TRANSACTIONS,
+    Maturity.PRODUCTION, "Separation of ledgers",
+    avoids_sharing_encrypted=True, keeps_onchain_record=True,
+))
+_register(MechanismInfo(
+    Mechanism.OFF_CHAIN_PEER_DATA, Category.TRANSACTIONS,
+    Maturity.PRODUCTION, "Off-chain peer data",
+    allows_deletion=True, avoids_sharing_encrypted=True,
+))
+_register(MechanismInfo(
+    Mechanism.SYMMETRIC_ENCRYPTION, Category.TRANSACTIONS,
+    Maturity.PRODUCTION, "Symmetric keys",
+    keeps_onchain_record=True,
+))
+_register(MechanismInfo(
+    Mechanism.MERKLE_TEAR_OFFS, Category.TRANSACTIONS,
+    Maturity.PRODUCTION, "Merkle trees and tear-offs",
+    avoids_sharing_encrypted=True, keeps_onchain_record=True,
+))
+_register(MechanismInfo(
+    Mechanism.ZKP_ON_DATA, Category.TRANSACTIONS,
+    Maturity.SCENARIO_SPECIFIC, "Zero-knowledge proofs",
+    keeps_onchain_record=True, hides_raw_values_from_counterparties=True,
+))
+_register(MechanismInfo(
+    Mechanism.MULTIPARTY_COMPUTATION, Category.TRANSACTIONS,
+    Maturity.EXPERIMENTAL, "Multiparty computation",
+    hides_raw_values_from_counterparties=True, computes_shared_function=True,
+))
+_register(MechanismInfo(
+    Mechanism.HOMOMORPHIC_ENCRYPTION, Category.TRANSACTIONS,
+    Maturity.PROOF_OF_CONCEPT, "Homomorphic encryption",
+    keeps_onchain_record=True, supports_uninvolved_validation=True,
+))
+_register(MechanismInfo(
+    Mechanism.INSTALL_ON_INVOLVED_NODES, Category.LOGIC,
+    Maturity.PRODUCTION, "Install contract on involved nodes",
+    keeps_logic_private=True, inbuilt_versioning=True,
+))
+_register(MechanismInfo(
+    Mechanism.OFF_CHAIN_EXECUTION_ENGINE, Category.LOGIC,
+    Maturity.PRODUCTION, "Off-chain execution engine",
+    keeps_logic_private=True, any_language=True,
+))
+_register(MechanismInfo(
+    Mechanism.TRUSTED_EXECUTION_ENVIRONMENT, Category.LOGIC,
+    Maturity.EXPERIMENTAL, "Trusted execution environments",
+    keeps_logic_private=True, inbuilt_versioning=True, hides_from_admin=True,
+    supports_uninvolved_validation=True,
+))
+_register(MechanismInfo(
+    Mechanism.PRIVATE_SEQUENCING_SERVICE, Category.MISC,
+    Maturity.PRODUCTION, "Private sequencing service possible",
+))
+_register(MechanismInfo(
+    Mechanism.OPEN_SOURCE, Category.MISC,
+    Maturity.PRODUCTION, "Open source",
+))
+
+
+def info(mechanism: Mechanism) -> MechanismInfo:
+    """Metadata for one mechanism."""
+    return _INFOS[mechanism]
+
+
+def all_mechanisms() -> list[Mechanism]:
+    """Table 1 row order."""
+    return list(_INFOS)
+
+
+def by_category(category: Category) -> list[Mechanism]:
+    return [m for m, i in _INFOS.items() if i.category is category]

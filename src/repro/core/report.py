@@ -1,0 +1,127 @@
+"""Design-report generation.
+
+Turns a :class:`~repro.core.guide.SolutionDesign` plus a platform ranking
+into the markdown document an architect would circulate: the decision
+trace for every data class (each step citing the paper), the chosen
+mechanisms with maturity warnings, the platform scores with the blocked
+mechanisms called out, and the deployment checklist.
+"""
+
+from __future__ import annotations
+
+from repro.core.guide import SolutionDesign
+from repro.core.matrix import PlatformScore, score_platforms
+from repro.core.mechanisms import Maturity, info
+
+
+def _maturity_warning(mechanism) -> str | None:
+    maturity = info(mechanism).maturity
+    if maturity is Maturity.PRODUCTION:
+        return None
+    return (
+        f"{info(mechanism).display_name} is {maturity.value} "
+        "(paper Section 2) — plan a fallback or accept the risk."
+    )
+
+
+def render_markdown(
+    design: SolutionDesign,
+    scores: list[PlatformScore] | None = None,
+) -> str:
+    """Render the full architect-facing report as markdown."""
+    scores = scores if scores is not None else score_platforms(design)
+    lines: list[str] = []
+    lines.append(f"# Privacy & confidentiality design: {design.use_case}")
+    lines.append("")
+    lines.append("Produced by the Middleware'19 design-guide engine; every")
+    lines.append("decision step cites the paper section that justifies it.")
+
+    lines.append("")
+    lines.append("## 1. Privacy of interactions")
+    lines.append("")
+    if design.interaction_mechanisms:
+        for mechanism in design.interaction_mechanisms:
+            lines.append(f"- **{info(mechanism).display_name}**")
+    else:
+        lines.append("- No interaction-privacy mechanism required.")
+
+    lines.append("")
+    lines.append("## 2. Confidentiality of transactions and data")
+    for rec in design.data_recommendations:
+        lines.append("")
+        lines.append(f"### Data class `{rec.data_class}`")
+        lines.append("")
+        lines.append("| step | question | answer |")
+        lines.append("|---|---|---|")
+        for number, step in enumerate(rec.path, start=1):
+            answer = "yes" if step.answer else "no"
+            lines.append(f"| {number} | {step.question} | {answer} |")
+        lines.append("")
+        lines.append(f"**Mechanism: {info(rec.primary).display_name}**")
+        for supplement in rec.supplementary:
+            lines.append(f"- plus {info(supplement).display_name}")
+        for mechanism in rec.all_mechanisms():
+            warning = _maturity_warning(mechanism)
+            if warning:
+                lines.append(f"- ⚠ {warning}")
+        for note in rec.notes:
+            lines.append(f"- note: {note}")
+
+    lines.append("")
+    lines.append("## 3. Confidentiality of business logic")
+    lines.append("")
+    if design.logic_mechanism is not None:
+        lines.append(f"**Mechanism: {info(design.logic_mechanism).display_name}**")
+        warning = _maturity_warning(design.logic_mechanism)
+        if warning:
+            lines.append(f"- ⚠ {warning}")
+    else:
+        lines.append("Business logic may be shared with all participants.")
+    for note in design.logic_notes:
+        lines.append(f"- {note}")
+
+    lines.append("")
+    lines.append("## 4. Platform assessment (per Table 1)")
+    lines.append("")
+    lines.append("| platform | score | native | implementable | blocked |")
+    lines.append("|---|---|---|---|---|")
+    for score in scores:
+        lines.append(
+            f"| {score.platform} | {score.score:.2f} "
+            f"| {len(score.native)} | {len(score.implementable)} "
+            f"| {len(score.blocked)} |"
+        )
+    for score in scores:
+        for mechanism in score.blocked:
+            lines.append(
+                f"- `{score.platform}` blocks "
+                f"**{info(mechanism).display_name}** "
+                "(requires substantial rewriting)"
+            )
+
+    lines.append("")
+    lines.append("## 5. Deployment checklist (Section 3.4)")
+    lines.append("")
+    for advice in design.deployment_advice:
+        lines.append(f"- [ ] {advice}")
+
+    lines.append("")
+    lines.append("## 6. Threat coverage")
+    lines.append("")
+    lines.append("Residual exposures need explicit sign-off (some are by")
+    lines.append("design — e.g. counterparties seeing data they transact on).")
+    lines.append("")
+    from repro.core.threats import Adversary, Asset, evaluate_design
+
+    assessment = evaluate_design(design)
+    header = "| adversary | " + " | ".join(a.value for a in Asset) + " |"
+    lines.append(header)
+    lines.append("|---|" + "---|" * len(Asset))
+    for adversary in Adversary:
+        cells = [
+            "covered" if assessment.is_covered(adversary, asset) else "**EXPOSED**"
+            for asset in Asset
+        ]
+        lines.append(f"| {adversary.value} | " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Requirements model (the inputs to the design guide).
+
+Section 3: "Use cases and solutions are multifaceted.  Apart from use case
+driven privacy and confidentiality requirements, an architect may need to
+consider legal and regulatory constraints.  Furthermore, requirements may
+vary between different types of data."
+
+The model therefore separates: interaction-privacy needs (Section 3.1),
+per-data-class confidentiality needs (Section 3.2 / Figure 1 — a solution
+may carry several data classes with different requirements, like the
+letter-of-credit's PII vs. trade data), business-logic needs (Section
+3.3), and deployment trust assumptions (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import RequirementsError
+
+
+class InteractionPrivacy(enum.Enum):
+    """Section 3.1's three levels of party privacy."""
+
+    NONE = "none"
+    # "If a group of parties know each other, and members wish to interact
+    # privately, they may want to use a ledger that is separate..."
+    GROUP_PRIVATE = "group-private"
+    # "If on any given ledger a sub-group of parties does not want to
+    # reveal that they are transacting they can exchange one-time public
+    # keys..."
+    SUBGROUP_UNLINKABLE = "subgroup-unlinkable"
+    # "In the case where an individual party wishes to remain entirely
+    # private but is still required to sign or commit a transaction, they
+    # have the ability to use ZKP to prove their identity."
+    INDIVIDUAL_ANONYMOUS = "individual-anonymous"
+
+
+@dataclass(frozen=True)
+class DataClassRequirements:
+    """Figure 1's decision inputs for one class of data.
+
+    Field order mirrors the order the questions are asked on the Figure 1
+    spine; see :mod:`repro.core.decision`.
+    """
+
+    name: str
+    # "A first important decision point involves regulatory obligations,
+    # such as 'the right to be forgotten'."
+    deletion_required: bool = False
+    # "a transaction may rely on private data that cannot be shared
+    # between transacting parties"
+    private_from_counterparties: bool = False
+    # "If a shared function needs to be computed on private values, such
+    # as would be the case for a secret ballot"
+    shared_function_on_private_inputs: bool = False
+    # "parties may prefer not to share even encrypted data with the wider
+    # network"
+    encrypted_sharing_allowed: bool = True
+    # "If on-chain records are still desired to make use of endorsement
+    # protocols or the append-only character of a ledger"
+    onchain_record_desired: bool = True
+    # "Additional Merkle tree tear-offs can be implemented if a transaction
+    # contains data irrelevant to one or more participating parties"
+    partial_visibility_within_transaction: bool = False
+    # "Unless uninvolved network parties are required to endorse the
+    # correctness of an otherwise confidential transaction"
+    uninvolved_validation_required: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shared_function_on_private_inputs and not self.private_from_counterparties:
+            raise RequirementsError(
+                "a shared function on private inputs implies the inputs are "
+                "private from counterparties"
+            )
+
+
+@dataclass(frozen=True)
+class LogicRequirements:
+    """Section 3.3's four criteria."""
+
+    keep_logic_private: bool = False
+    need_inbuilt_versioning: bool = False
+    hide_from_node_admin: bool = False
+    need_any_language: bool = False
+
+
+@dataclass(frozen=True)
+class DeploymentContext:
+    """Section 3.4 trust assumptions that modulate the recommendation."""
+
+    # Whether a third party operating the ordering/sequencing service is
+    # trusted with transaction visibility.
+    ordering_service_trusted: bool = True
+    # Whether some nodes are administered by third parties not trusted
+    # with raw data ("Not captured in this diagram is the case where a
+    # node is administered by a third party...").
+    third_party_node_admin: bool = False
+    # Whether each org can host its own full application stack.
+    per_org_infrastructure: bool = True
+
+
+@dataclass(frozen=True)
+class UseCaseRequirements:
+    """The complete input to the design guide."""
+
+    name: str
+    interaction_privacy: InteractionPrivacy = InteractionPrivacy.NONE
+    data_classes: tuple[DataClassRequirements, ...] = ()
+    logic: LogicRequirements = field(default_factory=LogicRequirements)
+    deployment: DeploymentContext = field(default_factory=DeploymentContext)
+
+    def __post_init__(self) -> None:
+        if not self.data_classes:
+            raise RequirementsError(
+                "a use case needs at least one data class (use defaults "
+                "for an unconstrained one)"
+            )
+        names = [dc.name for dc in self.data_classes]
+        if len(set(names)) != len(names):
+            raise RequirementsError(f"duplicate data class names: {names}")
+
+    def data_class(self, name: str) -> DataClassRequirements:
+        for dc in self.data_classes:
+            if dc.name == name:
+                return dc
+        raise RequirementsError(f"no data class named {name!r}")

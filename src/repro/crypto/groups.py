@@ -1,0 +1,191 @@
+"""Schnorr group arithmetic.
+
+All discrete-log based primitives in the library (signatures, Pedersen
+commitments, ZK proofs, anonymous credentials, one-time keys) operate in the
+same Schnorr group: the prime-order-q subgroup of Z_p* for a safe prime
+p = 2q + 1.  A fixed 1536-bit production-style group and a small test group
+are provided; the group is a parameter everywhere so tests can run fast while
+the defaults remain realistic.
+
+The implementation is deliberately plain modular arithmetic: the paper's
+design guide reasons about the *capabilities* of these primitives, and a
+transparent from-scratch implementation makes the trust boundaries auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRNG
+from repro.crypto.hashing import tagged_hash
+
+# 1536-bit MODP group from RFC 3526 (a safe prime: p = 2q + 1).
+_RFC3526_1536_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A prime-order subgroup of Z_p* with independent generators g and h.
+
+    ``h`` is a second generator with unknown discrete log relative to ``g``
+    (derived by hashing into the group), as required for Pedersen
+    commitments to be binding.
+    """
+
+    p: int
+    q: int
+    g: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.p != 2 * self.q + 1:
+            raise ValueError("group requires a safe prime p = 2q + 1")
+        for gen in (self.g, self.h):
+            if not self.contains(gen) or gen == 1:
+                raise ValueError("generator is not in the prime-order subgroup")
+
+    def contains(self, element: int) -> bool:
+        """True if *element* lies in the order-q subgroup."""
+        return 0 < element < self.p and pow(element, self.q, self.p) == 1
+
+    def exp(self, base: int, exponent: int) -> int:
+        """base^exponent mod p (exponent reduced mod q)."""
+        return pow(base, exponent % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        """Group multiplication a*b mod p."""
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse of a mod p."""
+        return pow(a, -1, self.p)
+
+    def commit(self, value: int, blinding: int) -> int:
+        """Pedersen commitment g^value * h^blinding mod p."""
+        return self.mul(self.exp(self.g, value), self.exp(self.h, blinding))
+
+    def random_scalar(self, rng: DeterministicRNG) -> int:
+        """Uniform non-zero exponent in [1, q)."""
+        return 1 + rng.randint_below(self.q - 1)
+
+    def hash_to_scalar(self, tag: str, data: bytes) -> int:
+        """Map arbitrary data to a challenge scalar in [0, q)."""
+        counter = 0
+        while True:
+            digest = tagged_hash(tag, counter.to_bytes(4, "big") + data)
+            candidate = int.from_bytes(digest + tagged_hash(tag + "/ext", digest), "big")
+            candidate %= 1 << (self.q.bit_length() + 64)
+            return candidate % self.q
+
+    def hash_to_element(self, tag: str, data: bytes) -> int:
+        """Map arbitrary data to a subgroup element with unknown dlog."""
+        counter = 0
+        while True:
+            digest = tagged_hash(tag, counter.to_bytes(4, "big") + data)
+            candidate = int.from_bytes(digest * ((self.p.bit_length() // 256) + 2), "big") % self.p
+            if candidate in (0, 1):
+                counter += 1
+                continue
+            element = pow(candidate, 2, self.p)  # square into the subgroup
+            if element != 1:
+                return element
+            counter += 1
+
+
+def _is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with deterministic witnesses first."""
+    if n < 2:
+        return False
+    small_primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+    for prime in small_primes:
+        if n % prime == 0:
+            return n == prime
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = DeterministicRNG(b"miller-rabin:" + n.to_bytes((n.bit_length() + 7) // 8, "big"))
+    for __ in range(rounds):
+        a = 2 + rng.randint_below(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for __ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _derive_generators(p: int, q: int) -> tuple[int, int]:
+    """Find independent subgroup generators g and h by hashing into Z_p*."""
+    def find(tag: str) -> int:
+        counter = 0
+        while True:
+            seed = tagged_hash(tag, counter.to_bytes(4, "big") + p.to_bytes((p.bit_length() + 7) // 8, "big"))
+            candidate = int.from_bytes(seed * ((p.bit_length() // 256) + 2), "big") % p
+            if candidate > 1:
+                gen = pow(candidate, 2, p)
+                if gen != 1 and pow(gen, q, p) == 1:
+                    return gen
+            counter += 1
+
+    return find("repro/group/g"), find("repro/group/h")
+
+
+def default_group() -> SchnorrGroup:
+    """The production-style 1536-bit group (RFC 3526 safe prime)."""
+    p = _RFC3526_1536_P
+    q = (p - 1) // 2
+    g, h = _derive_generators(p, q)
+    return SchnorrGroup(p=p, q=q, g=g, h=h)
+
+
+def small_group(bits: int = 160, seed: str = "repro-test-group") -> SchnorrGroup:
+    """Generate a small safe-prime group for fast tests.
+
+    Deterministic for a given (bits, seed), so test vectors are stable.
+    """
+    if bits < 32:
+        raise ValueError("group too small to be meaningful")
+    rng = DeterministicRNG(seed)
+    while True:
+        q = (1 << (bits - 1)) | int.from_bytes(rng.randbytes((bits + 7) // 8), "big") % (1 << (bits - 1))
+        q |= 1
+        if not _is_probable_prime(q, rounds=20):
+            continue
+        p = 2 * q + 1
+        if _is_probable_prime(p, rounds=20):
+            g, h = _derive_generators(p, q)
+            return SchnorrGroup(p=p, q=q, g=g, h=h)
+
+
+_CACHED_DEFAULT: SchnorrGroup | None = None
+_CACHED_TEST: SchnorrGroup | None = None
+
+
+def cached_default_group() -> SchnorrGroup:
+    """Memoized :func:`default_group` (generator derivation is not free)."""
+    global _CACHED_DEFAULT
+    if _CACHED_DEFAULT is None:
+        _CACHED_DEFAULT = default_group()
+    return _CACHED_DEFAULT
+
+
+def cached_test_group() -> SchnorrGroup:
+    """Memoized small group shared by the test suite and fast simulations."""
+    global _CACHED_TEST
+    if _CACHED_TEST is None:
+        _CACHED_TEST = small_group()
+    return _CACHED_TEST

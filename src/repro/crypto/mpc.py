@@ -1,0 +1,222 @@
+"""Multiparty computation by additive secret sharing.
+
+Section 2.2: "MPC describes a collection of cryptographic algorithms that
+allows a group of parties to compute a shared function on private values.
+Each party carries out a computation on their private data and shares the
+result with the other parties.  All collected results are then used by each
+party to compute the same shared function, resulting in one consistent
+value that can be committed to the ledger."
+
+The implementation is textbook additive secret sharing over the group's
+scalar field, hardened with a Pedersen commit-before-open phase so a party
+that equivocates between recipients is caught (protocol aborts with
+:class:`MPCError`).  Supported shared functions: sum, mean, and the secret
+ballot the paper names as the motivating workload.  The protocol object
+counts rounds and messages for the C1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import MPCError
+from repro.common.rng import DeterministicRNG
+from repro.crypto.commitments import Commitment, Opening, PedersenScheme
+from repro.crypto.groups import SchnorrGroup, cached_test_group
+
+
+@dataclass
+class MPCStats:
+    """Protocol cost accounting for benchmarks: rounds and messages sent."""
+
+    rounds: int = 0
+    messages: int = 0
+    field_elements_transferred: int = 0
+
+
+@dataclass
+class _PartyState:
+    name: str
+    secret: int
+    outgoing_shares: dict[str, int] = field(default_factory=dict)
+    incoming_shares: dict[str, int] = field(default_factory=dict)
+    share_commitments: dict[str, Commitment] = field(default_factory=dict)
+    share_openings: dict[str, Opening] = field(default_factory=dict)
+    partial_sum: int | None = None
+
+
+class AdditiveSharingProtocol:
+    """One execution of secure summation among named parties.
+
+    Phases (each a network round when run on a platform):
+
+    1. ``share``   — every party splits its secret into n additive shares
+       and sends one to each peer, together with a Pedersen commitment to
+       that share.
+    2. ``combine`` — every party sums the shares it received and broadcasts
+       the partial sum with the openings of the commitments it *issued*.
+    3. ``reconstruct`` — everyone verifies openings against the phase-1
+       commitments and adds the partial sums; any mismatch aborts.
+
+    No party's raw secret ever leaves its process: only shares (each
+    individually uniform) and sums of shares are exchanged.
+    """
+
+    def __init__(
+        self,
+        party_names: list[str],
+        group: SchnorrGroup | None = None,
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        if len(party_names) < 2:
+            raise MPCError("MPC requires at least two parties")
+        if len(set(party_names)) != len(party_names):
+            raise MPCError("party names must be unique")
+        self.group = group or cached_test_group()
+        self.pedersen = PedersenScheme(self.group)
+        self.party_names = list(party_names)
+        self._rng = rng or DeterministicRNG("mpc:" + "|".join(party_names))
+        self._parties: dict[str, _PartyState] = {}
+        self.stats = MPCStats()
+
+    # -- phase 0: inputs stay local
+
+    def set_input(self, party: str, value: int) -> None:
+        """Register *party*'s private input (never transmitted)."""
+        if party not in self.party_names:
+            raise MPCError(f"unknown party {party!r}")
+        if value < 0 or value >= self.group.q:
+            raise MPCError("input outside the scalar field")
+        self._parties[party] = _PartyState(name=party, secret=value)
+
+    def _require_all_inputs(self) -> None:
+        missing = [p for p in self.party_names if p not in self._parties]
+        if missing:
+            raise MPCError(f"missing inputs from {missing}")
+
+    # -- phase 1: share distribution with commitments
+
+    def run_share_phase(self) -> dict[str, dict[str, Commitment]]:
+        """Split every secret; returns the public commitment matrix."""
+        self._require_all_inputs()
+        q = self.group.q
+        commitment_matrix: dict[str, dict[str, Commitment]] = {}
+        for sender_name in self.party_names:
+            sender = self._parties[sender_name]
+            shares = [
+                self._rng.randint_below(q) for __ in range(len(self.party_names) - 1)
+            ]
+            last = (sender.secret - sum(shares)) % q
+            shares.append(last)
+            commitment_matrix[sender_name] = {}
+            for receiver_name, share in zip(self.party_names, shares):
+                sender.outgoing_shares[receiver_name] = share
+                commitment, opening = self.pedersen.commit(share, self._rng)
+                sender.share_openings[receiver_name] = opening
+                commitment_matrix[sender_name][receiver_name] = commitment
+                # Deliver the share privately to the receiver.
+                self._parties[receiver_name].incoming_shares[sender_name] = share
+                self._parties[receiver_name].share_commitments[
+                    f"{sender_name}->{receiver_name}"
+                ] = commitment
+                self.stats.messages += 1
+                self.stats.field_elements_transferred += 2
+        self.stats.rounds += 1
+        return commitment_matrix
+
+    # -- phase 2: partial sums
+
+    def run_combine_phase(self) -> dict[str, int]:
+        """Each party broadcasts the sum of the shares it received."""
+        q = self.group.q
+        partials: dict[str, int] = {}
+        for name in self.party_names:
+            state = self._parties[name]
+            if len(state.incoming_shares) != len(self.party_names):
+                raise MPCError(f"{name!r} did not receive all shares")
+            state.partial_sum = sum(state.incoming_shares.values()) % q
+            partials[name] = state.partial_sum
+            self.stats.messages += len(self.party_names) - 1
+            self.stats.field_elements_transferred += len(self.party_names) - 1
+        self.stats.rounds += 1
+        return partials
+
+    # -- phase 3: verified reconstruction
+
+    def run_reconstruct_phase(self, partials: dict[str, int]) -> int:
+        """Verify commitments and reconstruct the sum; aborts on cheating."""
+        q = self.group.q
+        for sender_name in self.party_names:
+            sender = self._parties[sender_name]
+            for receiver_name in self.party_names:
+                opening = sender.share_openings[receiver_name]
+                commitment = self._parties[receiver_name].share_commitments[
+                    f"{sender_name}->{receiver_name}"
+                ]
+                if not self.pedersen.verify(commitment, opening):
+                    raise MPCError(
+                        f"share commitment mismatch from {sender_name!r} "
+                        f"to {receiver_name!r}: protocol aborted"
+                    )
+                if opening.value != sender.outgoing_shares[receiver_name] % q:
+                    raise MPCError(
+                        f"{sender_name!r} equivocated on a share: protocol aborted"
+                    )
+        self.stats.rounds += 1
+        return sum(partials.values()) % q
+
+    def run(self) -> int:
+        """Execute all three phases and return the shared sum."""
+        self.run_share_phase()
+        partials = self.run_combine_phase()
+        return self.run_reconstruct_phase(partials)
+
+    # -- fault injection for tests
+
+    def corrupt_share(self, sender: str, receiver: str, delta: int = 1) -> None:
+        """Tamper with a delivered share (the commitment now mismatches)."""
+        state = self._parties[receiver]
+        state.incoming_shares[sender] = (
+            state.incoming_shares[sender] + delta
+        ) % self.group.q
+        sender_state = self._parties[sender]
+        sender_state.outgoing_shares[receiver] = (
+            sender_state.outgoing_shares[receiver] + delta
+        ) % self.group.q
+
+
+def secure_sum(
+    inputs: dict[str, int],
+    group: SchnorrGroup | None = None,
+    rng: DeterministicRNG | None = None,
+) -> tuple[int, MPCStats]:
+    """Compute the sum of private inputs; returns (sum, protocol stats)."""
+    protocol = AdditiveSharingProtocol(sorted(inputs), group=group, rng=rng)
+    for party, value in inputs.items():
+        protocol.set_input(party, value)
+    total = protocol.run()
+    return total, protocol.stats
+
+
+def secure_mean(
+    inputs: dict[str, int],
+    group: SchnorrGroup | None = None,
+    rng: DeterministicRNG | None = None,
+) -> tuple[float, MPCStats]:
+    """Compute the mean of private inputs (sum is exact, division public)."""
+    total, stats = secure_sum(inputs, group=group, rng=rng)
+    return total / len(inputs), stats
+
+
+def secret_ballot(
+    votes: dict[str, bool],
+    group: SchnorrGroup | None = None,
+    rng: DeterministicRNG | None = None,
+) -> tuple[dict, MPCStats]:
+    """The paper's secret-ballot example: tally yes votes without revealing
+    who voted which way.  Returns ({'yes': n, 'no': m, 'passed': bool}, stats).
+    """
+    numeric = {party: 1 if vote else 0 for party, vote in votes.items()}
+    yes, stats = secure_sum(numeric, group=group, rng=rng)
+    no = len(votes) - yes
+    return {"yes": yes, "no": no, "passed": yes > no}, stats

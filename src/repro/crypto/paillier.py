@@ -1,0 +1,173 @@
+"""Paillier additively homomorphic encryption.
+
+Section 2.2: "Homomorphic encryption describes cryptographic methods that
+allow for the computation of certain functions on encrypted input
+parameters to produce an equally encrypted output... has only been shown to
+enable a very limited set of operations".
+
+We implement the Paillier cryptosystem from scratch — the canonical
+*partially* homomorphic scheme.  True to the paper's caveat, the public
+API exposes exactly the operations the scheme supports (addition of
+ciphertexts, multiplication by a plaintext scalar) and nothing more;
+attempting ciphertext x ciphertext multiplication raises, which is how the
+capability prober classifies homomorphic computation as immature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+from repro.common.errors import CryptoError
+from repro.common.rng import DeterministicRNG
+from repro.crypto.groups import _is_probable_prime
+
+
+def _random_prime(bits: int, rng: DeterministicRNG) -> int:
+    """Draw a random prime of exactly *bits* bits."""
+    if bits < 8:
+        raise CryptoError("prime too small")
+    while True:
+        candidate = int.from_bytes(rng.randbytes((bits + 7) // 8), "big")
+        candidate |= (1 << (bits - 1)) | 1
+        candidate &= (1 << bits) - 1
+        if _is_probable_prime(candidate, rounds=20):
+            return candidate
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key (n, g) with g = n + 1 (the standard simplification)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def g(self) -> int:
+        return self.n + 1
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key (lambda, mu) with its public counterpart."""
+
+    lam: int
+    mu: int
+    public: PaillierPublicKey
+
+
+@dataclass(frozen=True)
+class PaillierCiphertext:
+    """An encrypted value under a specific public key."""
+
+    value: int
+    key_n: int
+
+
+class Paillier:
+    """Keygen / encrypt / decrypt / homomorphic ops.
+
+    ``bits`` is the modulus size; the 512-bit default keeps tests fast
+    while the structure is identical to production parameter sizes.
+    """
+
+    def __init__(self, bits: int = 512) -> None:
+        if bits < 64:
+            raise CryptoError("modulus too small to be meaningful")
+        self.bits = bits
+
+    def keygen(self, rng: DeterministicRNG) -> PaillierPrivateKey:
+        """Generate a key pair from the given randomness source."""
+        half = self.bits // 2
+        while True:
+            p = _random_prime(half, rng)
+            q = _random_prime(half, rng)
+            if p == q:
+                continue
+            n = p * q
+            if gcd(n, (p - 1) * (q - 1)) == 1:
+                break
+        lam = _lcm(p - 1, q - 1)
+        public = PaillierPublicKey(n=n)
+        # mu = (L(g^lambda mod n^2))^-1 mod n with g = n+1 => L(...) = lambda...
+        # computed generically for clarity:
+        x = pow(public.g, lam, public.n_squared)
+        l_value = (x - 1) // n
+        mu = pow(l_value, -1, n)
+        return PaillierPrivateKey(lam=lam, mu=mu, public=public)
+
+    def encrypt(
+        self, public: PaillierPublicKey, plaintext: int, rng: DeterministicRNG
+    ) -> PaillierCiphertext:
+        """Encrypt an integer in [0, n)."""
+        if not (0 <= plaintext < public.n):
+            raise CryptoError("plaintext outside [0, n)")
+        while True:
+            r = 1 + rng.randint_below(public.n - 1)
+            if gcd(r, public.n) == 1:
+                break
+        n2 = public.n_squared
+        cipher = (
+            pow(public.g, plaintext, n2) * pow(r, public.n, n2)
+        ) % n2
+        return PaillierCiphertext(value=cipher, key_n=public.n)
+
+    def decrypt(self, private: PaillierPrivateKey, ct: PaillierCiphertext) -> int:
+        """Decrypt a ciphertext produced under the matching public key."""
+        public = private.public
+        if ct.key_n != public.n:
+            raise CryptoError("ciphertext was produced under a different key")
+        n2 = public.n_squared
+        x = pow(ct.value, private.lam, n2)
+        l_value = (x - 1) // public.n
+        return (l_value * private.mu) % public.n
+
+    # -- the (deliberately limited) homomorphic operations
+
+    def add(
+        self, public: PaillierPublicKey, a: PaillierCiphertext, b: PaillierCiphertext
+    ) -> PaillierCiphertext:
+        """Homomorphic addition: Dec(add(a,b)) == Dec(a) + Dec(b) mod n."""
+        if a.key_n != public.n or b.key_n != public.n:
+            raise CryptoError("ciphertexts under different keys")
+        return PaillierCiphertext(
+            value=(a.value * b.value) % public.n_squared, key_n=public.n
+        )
+
+    def add_plain(
+        self, public: PaillierPublicKey, a: PaillierCiphertext, plaintext: int
+    ) -> PaillierCiphertext:
+        """Homomorphic addition of a public constant."""
+        if a.key_n != public.n:
+            raise CryptoError("ciphertext under a different key")
+        shifted = (a.value * pow(public.g, plaintext % public.n, public.n_squared)) % public.n_squared
+        return PaillierCiphertext(value=shifted, key_n=public.n)
+
+    def scalar_mul(
+        self, public: PaillierPublicKey, a: PaillierCiphertext, scalar: int
+    ) -> PaillierCiphertext:
+        """Homomorphic multiplication by a public scalar."""
+        if a.key_n != public.n:
+            raise CryptoError("ciphertext under a different key")
+        return PaillierCiphertext(
+            value=pow(a.value, scalar % public.n, public.n_squared), key_n=public.n
+        )
+
+    def multiply(self, *_args, **_kwargs):
+        """Ciphertext x ciphertext multiplication is NOT supported.
+
+        Raises always: Paillier is only additively homomorphic.  The paper's
+        maturity assessment ("only a very limited set of operations") is
+        encoded here and read by the capability prober.
+        """
+        raise CryptoError(
+            "Paillier supports only addition and scalar multiplication; "
+            "general homomorphic computation is not available (paper S2.2)"
+        )

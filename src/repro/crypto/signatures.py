@@ -1,0 +1,99 @@
+"""Schnorr digital signatures.
+
+The library's signature scheme for all platforms and identities.  Nonces are
+derived deterministically (RFC 6979 style) from the secret key and message,
+so signing is reproducible and never reuses a nonce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRNG
+from repro.crypto.groups import SchnorrGroup, cached_test_group
+from repro.crypto.hashing import tagged_hash
+from repro.common.errors import SignatureError
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A Schnorr public key: group element y = g^x."""
+
+    y: int
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for the key (hex of a tagged hash)."""
+        data = self.y.to_bytes((self.y.bit_length() + 7) // 8 or 1, "big")
+        return tagged_hash("repro/pubkey", data).hex()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A Schnorr private key x with its public counterpart."""
+
+    x: int
+    public: PublicKey
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Schnorr signature (challenge, response)."""
+
+    challenge: int
+    response: int
+
+
+class SignatureScheme:
+    """Schnorr signatures over a :class:`SchnorrGroup`."""
+
+    def __init__(self, group: SchnorrGroup | None = None) -> None:
+        self.group = group or cached_test_group()
+
+    def keygen(self, rng: DeterministicRNG) -> PrivateKey:
+        """Generate a key pair from the supplied randomness source."""
+        x = self.group.random_scalar(rng)
+        y = self.group.exp(self.group.g, x)
+        return PrivateKey(x=x, public=PublicKey(y=y))
+
+    def keygen_from_seed(self, seed: str) -> PrivateKey:
+        """Derive a key pair deterministically from a string seed."""
+        return self.keygen(DeterministicRNG("keygen:" + seed))
+
+    def _nonce(self, key: PrivateKey, message: bytes) -> int:
+        material = key.x.to_bytes((self.group.q.bit_length() + 7) // 8, "big")
+        digest = tagged_hash("repro/schnorr/nonce", material + message)
+        k = int.from_bytes(digest + tagged_hash("repro/schnorr/nonce2", digest), "big")
+        k %= self.group.q - 1
+        return k + 1
+
+    def _challenge(self, commitment: int, public: PublicKey, message: bytes) -> int:
+        data = b"|".join(
+            value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+            for value in (commitment, public.y)
+        )
+        return self.group.hash_to_scalar("repro/schnorr/challenge", data + b"|" + message)
+
+    def sign(self, key: PrivateKey, message: bytes) -> Signature:
+        """Sign *message*; deterministic for a fixed (key, message)."""
+        k = self._nonce(key, message)
+        commitment = self.group.exp(self.group.g, k)
+        e = self._challenge(commitment, key.public, message)
+        s = (k + e * key.x) % self.group.q
+        return Signature(challenge=e, response=s)
+
+    def verify(self, public: PublicKey, message: bytes, sig: Signature) -> bool:
+        """Return True iff *sig* is a valid signature on *message*."""
+        if not (0 <= sig.challenge < self.group.q and 0 <= sig.response < self.group.q):
+            return False
+        if not self.group.contains(public.y):
+            return False
+        # Recompute R = g^s * y^-e and check the challenge matches.
+        gs = self.group.exp(self.group.g, sig.response)
+        y_inv_e = self.group.inv(self.group.exp(public.y, sig.challenge))
+        commitment = self.group.mul(gs, y_inv_e)
+        return self._challenge(commitment, public, message) == sig.challenge
+
+    def require_valid(self, public: PublicKey, message: bytes, sig: Signature) -> None:
+        """Raise :class:`SignatureError` unless *sig* verifies."""
+        if not self.verify(public, message, sig):
+            raise SignatureError("signature verification failed")

@@ -1,0 +1,93 @@
+"""Authenticated symmetric encryption.
+
+Stand-in for AES-GCM (the paper's Section 2.2 "symmetric key encryption"
+mechanism).  The construction is encrypt-then-MAC over an HMAC-SHA-256
+keystream: honest in its security goals (confidentiality + integrity under a
+shared key), pure Python, and deterministic given the caller-supplied nonce.
+
+The design guide only relies on the *trust model* of symmetric encryption —
+holders of the key can read, everyone else sees ciphertext — which this
+construction provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import DecryptionError
+from repro.common.rng import DeterministicRNG
+from repro.crypto.hashing import constant_time_equal, hkdf, hmac_sha256
+
+KEY_SIZE = 32
+NONCE_SIZE = 16
+TAG_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """Nonce, encrypted payload, and authentication tag."""
+
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    def size(self) -> int:
+        """Total wire size in bytes."""
+        return len(self.nonce) + len(self.body) + len(self.tag)
+
+
+class SymmetricKey:
+    """A 256-bit shared key with encrypt/decrypt operations."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"key must be {KEY_SIZE} bytes")
+        self._enc_key = hkdf(key, "repro/sym/enc")
+        self._mac_key = hkdf(key, "repro/sym/mac")
+        self._raw = key
+
+    @classmethod
+    def generate(cls, rng: DeterministicRNG) -> "SymmetricKey":
+        """Draw a fresh key from the randomness source."""
+        return cls(rng.randbytes(KEY_SIZE))
+
+    @classmethod
+    def from_seed(cls, seed: str) -> "SymmetricKey":
+        """Derive a key deterministically from a string seed."""
+        return cls(hkdf(seed.encode("utf-8"), "repro/sym/seed"))
+
+    @property
+    def raw(self) -> bytes:
+        """Raw key bytes (needed to wrap/share the key over PKI)."""
+        return self._raw
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        stream = bytearray()
+        counter = 0
+        while len(stream) < length:
+            stream.extend(
+                hmac_sha256(self._enc_key, nonce + counter.to_bytes(8, "big"))
+            )
+            counter += 1
+        return bytes(stream[:length])
+
+    def encrypt(
+        self,
+        plaintext: bytes,
+        rng: DeterministicRNG,
+        associated_data: bytes = b"",
+    ) -> Ciphertext:
+        """Encrypt and authenticate *plaintext* (and bind associated data)."""
+        nonce = rng.randbytes(NONCE_SIZE)
+        stream = self._keystream(nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac_sha256(self._mac_key, nonce + body + associated_data)
+        return Ciphertext(nonce=nonce, body=body, tag=tag)
+
+    def decrypt(self, ct: Ciphertext, associated_data: bytes = b"") -> bytes:
+        """Authenticate and decrypt; raises :class:`DecryptionError` on tamper."""
+        expected = hmac_sha256(self._mac_key, ct.nonce + ct.body + associated_data)
+        if not constant_time_equal(expected, ct.tag):
+            raise DecryptionError("authentication tag mismatch")
+        stream = self._keystream(ct.nonce, len(ct.body))
+        return bytes(c ^ s for c, s in zip(ct.body, stream))

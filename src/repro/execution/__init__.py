@@ -1,0 +1,27 @@
+"""Smart-contract execution: contracts, versioning, and the three engines."""
+
+from repro.execution.contracts import (
+    ContractRegistry,
+    SmartContract,
+    StateView,
+)
+from repro.execution.engines import (
+    EngineProperties,
+    ExecutionEngine,
+    ExecutionResult,
+    LedgerEngine,
+    OffChainEngine,
+    TEEEngine,
+)
+
+__all__ = [
+    "ContractRegistry",
+    "SmartContract",
+    "StateView",
+    "EngineProperties",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "LedgerEngine",
+    "OffChainEngine",
+    "TEEEngine",
+]

@@ -1,0 +1,126 @@
+"""Public anchor ledger: existence proofs without content.
+
+Section 2.2 (separation of ledgers): "If a public record of the existence
+of a transaction is required, a hash of transaction data may optionally
+be published on a shared ledger" — and later: "by storing a hash of data
+on a shared ledger, it is recorded that a transaction occurred without
+revealing its content."
+
+:class:`AnchorLedger` is that shared ledger: network-wide, append-only,
+holding only digests.  A channel (or any private ledger) periodically
+publishes the Merkle root over its recent transaction hashes; a member
+can later prove to *anyone* — a regulator, a court — that a specific
+transaction existed by the anchoring time, by revealing the transaction's
+hash plus its Merkle path, without revealing any other transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ProofError, ValidationError
+from repro.crypto.merkle import InclusionProof, MerkleTree
+from repro.ledger.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One published commitment: a source label, root, and coverage count."""
+
+    source: str       # e.g. channel name; reveals *which* ledger anchored
+    sequence: int
+    root: bytes
+    tx_count: int
+    published_at: float
+
+
+@dataclass(frozen=True)
+class ExistenceProof:
+    """Evidence that one transaction hash is covered by a public anchor."""
+
+    anchor_sequence: int
+    tx_hash: str
+    inclusion: InclusionProof
+
+
+class AnchorLedger:
+    """The shared, content-free ledger every network member can read."""
+
+    def __init__(self, name: str = "public-anchors") -> None:
+        self.name = name
+        self._anchors: list[Anchor] = []
+
+    def publish(
+        self, source: str, tx_hashes: list[str], now: float
+    ) -> Anchor:
+        """Anchor a batch of transaction hashes under one Merkle root."""
+        if not tx_hashes:
+            raise ValidationError("nothing to anchor")
+        tree = MerkleTree(tx_hashes)
+        anchor = Anchor(
+            source=source,
+            sequence=len(self._anchors),
+            root=tree.root,
+            tx_count=len(tx_hashes),
+            published_at=now,
+        )
+        self._anchors.append(anchor)
+        return anchor
+
+    def anchor(self, sequence: int) -> Anchor:
+        if not (0 <= sequence < len(self._anchors)):
+            raise ValidationError(f"no anchor with sequence {sequence}")
+        return self._anchors[sequence]
+
+    def anchors_of(self, source: str) -> list[Anchor]:
+        return [a for a in self._anchors if a.source == source]
+
+    def verify_existence(self, proof: ExistenceProof) -> bool:
+        """Anyone holding the public ledger can check an existence proof."""
+        anchor = self.anchor(proof.anchor_sequence)
+        return proof.inclusion.verify(proof.tx_hash, anchor.root)
+
+    def __len__(self) -> int:
+        return len(self._anchors)
+
+
+class ChannelAnchorer:
+    """Publishes a private ledger's transaction hashes and builds proofs.
+
+    Lives with the channel members (it needs the transaction contents to
+    compute hashes); the public side only ever sees roots.
+    """
+
+    def __init__(self, source: str, ledger: AnchorLedger) -> None:
+        self.source = source
+        self.ledger = ledger
+        self._batches: list[list[str]] = []
+        self._anchored_count = 0
+
+    def anchor_transactions(
+        self, transactions: list[Transaction], now: float
+    ) -> Anchor | None:
+        """Publish hashes for all not-yet-anchored transactions."""
+        pending = transactions[self._anchored_count:]
+        if not pending:
+            return None
+        hashes = [tx.content_hash() for tx in pending]
+        anchor = self.ledger.publish(self.source, hashes, now)
+        self._batches.append(hashes)
+        self._anchored_count = len(transactions)
+        return anchor
+
+    def prove_existence(self, tx: Transaction) -> ExistenceProof:
+        """Build the proof a member shows a third party."""
+        tx_hash = tx.content_hash()
+        anchors = self.ledger.anchors_of(self.source)
+        for batch_index, hashes in enumerate(self._batches):
+            if tx_hash in hashes:
+                tree = MerkleTree(hashes)
+                index = hashes.index(tx_hash)
+                return ExistenceProof(
+                    anchor_sequence=anchors[batch_index].sequence,
+                    tx_hash=tx_hash,
+                    inclusion=tree.inclusion_proof(index),
+                )
+        raise ProofError("transaction was never anchored from this source")

@@ -1,0 +1,177 @@
+"""Ordering services.
+
+Section 3.4: "The service that provides ordering of transactions ... is an
+integral part of any DLT platform.  For some of the platforms reviewed
+(Fabric and Corda), this service has visibility of all DLT events,
+including parties to transactions and transaction details.  When assessing
+a DLT for suitability, architects must consider whether the ordering
+service meets privacy and confidentiality requirements and if parties can
+feasibly run their own service to mitigate leaks."
+
+This module makes that analysis executable.  Every orderer carries an
+:class:`Observer` recording exactly what it saw; orderers differ in
+
+- **visibility**: FULL (sees parties and payloads, like a Fabric ordering
+  node or a Corda validating notary) vs HASH_ONLY (sees only digests, like
+  a Corda non-validating notary);
+- **operator**: a third party, or one of the transacting organizations
+  ("private sequencing service", Table 1's Misc row).
+
+A simple service-time model (capacity in tx/s, batch cutting by size or
+timeout) supports the S1-S3 scalability benchmarks: ordering is the shared
+bottleneck whose saturation the benches demonstrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.errors import OrderingError
+from repro.ledger.transaction import Transaction
+from repro.network.messages import Exposure
+from repro.network.simnet import Observer
+
+
+class OrdererVisibility(enum.Enum):
+    """How much of each transaction the ordering service can read."""
+
+    FULL = "full"
+    HASH_ONLY = "hash_only"
+
+
+@dataclass
+class OrdererProfile:
+    """Performance envelope of one ordering service."""
+
+    capacity_tps: float = 1000.0
+    max_batch_size: int = 100
+    batch_timeout: float = 0.5
+
+
+@dataclass
+class OrderedBatch:
+    """A cut batch with the simulated time at which it was released."""
+
+    channel: str
+    transactions: list[Transaction]
+    released_at: float
+    sequence: int
+
+
+class OrderingService:
+    """A single logical ordering service (possibly multi-channel).
+
+    Fabric deployments share one ordering service across channels, which is
+    why the orderer's observer accumulates knowledge across confidentiality
+    boundaries — the exact §3.4 concern.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        visibility: OrdererVisibility = OrdererVisibility.FULL,
+        operator: str = "third-party",
+        profile: OrdererProfile | None = None,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.visibility = visibility
+        self.operator = operator
+        self.profile = profile or OrdererProfile()
+        self.observer = Observer(name)
+        self._pending: dict[str, list[tuple[Transaction, float]]] = {}
+        self._sequence = 0
+        self._busy_until = 0.0
+        self.total_ordered = 0
+
+    def _record_visibility(self, tx: Transaction) -> None:
+        if self.visibility is OrdererVisibility.FULL:
+            identities = {e.endorser for e in tx.endorsements}
+            # A pseudonymous submitter (e.g. an Idemix client) is not an
+            # identity observation — the orderer sees only the pseudonym.
+            if not tx.metadata.get("anonymous"):
+                identities.add(tx.submitter)
+            if "participants" in tx.metadata:
+                identities |= set(tx.metadata["participants"])
+            data_keys = {w.key for w in tx.writes} | {r.key for r in tx.reads}
+            exposure = Exposure.of(identities=identities, data_keys=data_keys)
+        else:
+            # Hash-only orderers learn that *a* transaction exists, nothing else.
+            exposure = Exposure()
+        self.observer.observe_exposure(exposure)
+
+    def submit(self, tx: Transaction) -> None:
+        """Accept a transaction for ordering on its channel."""
+        self._record_visibility(tx)
+        arrival = self.clock.now
+        self._pending.setdefault(tx.channel, []).append((tx, arrival))
+
+    def pending_count(self, channel: str) -> int:
+        return len(self._pending.get(channel, []))
+
+    def cut_batch(self, channel: str) -> OrderedBatch:
+        """Order the pending transactions of *channel* into one batch.
+
+        Models service time: the orderer processes transactions serially at
+        ``capacity_tps``; the batch release time reflects queueing behind
+        earlier work on *any* channel (shared-bottleneck semantics).
+        """
+        queue = self._pending.get(channel, [])
+        if not queue:
+            raise OrderingError(f"no pending transactions on channel {channel!r}")
+        batch_items = queue[: self.profile.max_batch_size]
+        self._pending[channel] = queue[self.profile.max_batch_size :]
+        transactions = [tx for tx, __ in batch_items]
+        latest_arrival = max(arrival for __, arrival in batch_items)
+        service_time = len(transactions) / self.profile.capacity_tps
+        start = max(self._busy_until, latest_arrival)
+        released_at = start + service_time
+        self._busy_until = released_at
+        self._sequence += 1
+        self.total_ordered += len(transactions)
+        return OrderedBatch(
+            channel=channel,
+            transactions=transactions,
+            released_at=released_at,
+            sequence=self._sequence,
+        )
+
+    def drain_channel(self, channel: str) -> list[OrderedBatch]:
+        """Cut batches until the channel queue is empty."""
+        batches = []
+        while self.pending_count(channel):
+            batches.append(self.cut_batch(channel))
+        return batches
+
+    def is_member_operated(self, members: set[str]) -> bool:
+        """True if a transacting organization runs this service itself —
+        the paper's mitigation for ordering-service visibility."""
+        return self.operator in members
+
+    def knowledge(self) -> dict:
+        """What this orderer has learned (for the L1 leakage audit)."""
+        return self.observer.knowledge()
+
+
+def make_private_orderer(
+    operator: str,
+    clock: SimClock,
+    visibility: OrdererVisibility = OrdererVisibility.FULL,
+    profile: OrdererProfile | None = None,
+) -> OrderingService:
+    """An ordering service run by one of the transacting organizations.
+
+    Visibility is unchanged — the *operator* changes, which converts the
+    leak from 'third party sees everything' to 'a member sees everything',
+    the trade-off §3.4 describes.
+    """
+    return OrderingService(
+        name=f"orderer@{operator}",
+        clock=clock,
+        visibility=visibility,
+        operator=operator,
+        profile=profile,
+    )

@@ -1,0 +1,228 @@
+"""A Raft-style replicated ordering cluster.
+
+Section 3.4 asks architects to consider "if parties can feasibly run
+their own [ordering] service".  A realistic member-run deployment is not
+a single process but a small replicated cluster; this module provides a
+faithful-enough Raft core — terms, leader election with randomized
+timeouts, log replication with majority commit, and crash/recovery — so
+the 'private sequencing service' option can be exercised under faults.
+
+Privacy accounting carries over: every replica observes everything the
+leader does (replication copies the log), so running a cluster multiplies
+the *operators* who see the data — a trade-off the tests make explicit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import OrderingError
+from repro.common.rng import DeterministicRNG
+from repro.ledger.transaction import Transaction
+from repro.network.messages import Exposure
+from repro.network.simnet import Observer
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class LogEntry:
+    """One replicated slot: the term it was appended in and its payload."""
+
+    term: int
+    tx: Transaction
+
+
+@dataclass
+class RaftNode:
+    """A single replica's Raft state."""
+
+    name: str
+    operator: str
+    current_term: int = 0
+    voted_for: str | None = None
+    role: Role = Role.FOLLOWER
+    log: list[LogEntry] = field(default_factory=list)
+    commit_index: int = 0  # number of committed entries
+    crashed: bool = False
+    observer: Observer = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.observer is None:
+            self.observer = Observer(self.name)
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+
+class RaftCluster:
+    """A synchronous-round Raft cluster ordering transactions.
+
+    The simulation advances in explicit steps (:meth:`elect`,
+    :meth:`replicate`) rather than timers, which keeps runs deterministic
+    while preserving the protocol's safety logic: majority votes with
+    up-to-date-log checks, majority commit, term-based leader fencing.
+    """
+
+    def __init__(
+        self,
+        operators: list[str],
+        rng: DeterministicRNG | None = None,
+    ) -> None:
+        if len(operators) < 3 or len(operators) % 2 == 0:
+            raise OrderingError("a raft cluster needs an odd size >= 3")
+        self._rng = rng or DeterministicRNG("raft:" + "|".join(operators))
+        self.nodes: dict[str, RaftNode] = {
+            f"raft-{operator}": RaftNode(name=f"raft-{operator}", operator=operator)
+            for operator in operators
+        }
+        self.leader: str | None = None
+
+    # -- membership helpers
+
+    def _alive(self) -> list[RaftNode]:
+        return [n for n in self.nodes.values() if not n.crashed]
+
+    def majority(self) -> int:
+        return len(self.nodes) // 2 + 1
+
+    def node(self, name: str) -> RaftNode:
+        if name not in self.nodes:
+            raise OrderingError(f"unknown raft node {name!r}")
+        return self.nodes[name]
+
+    # -- leader election
+
+    def elect(self, candidate_name: str | None = None) -> str:
+        """Run one election round; returns the new leader's name.
+
+        A deterministic stand-in for randomized timeouts: the caller (or
+        the RNG) picks which alive node times out first and campaigns.
+        """
+        alive = self._alive()
+        if len(alive) < self.majority():
+            raise OrderingError("no quorum alive: cluster unavailable")
+        if candidate_name is None:
+            candidate = alive[self._rng.randint_below(len(alive))]
+        else:
+            candidate = self.node(candidate_name)
+            if candidate.crashed:
+                raise OrderingError(f"{candidate_name!r} is crashed")
+        candidate.current_term += 1
+        candidate.role = Role.CANDIDATE
+        candidate.voted_for = candidate.name
+        votes = 1
+        for voter in alive:
+            if voter.name == candidate.name:
+                continue
+            up_to_date = (
+                candidate.last_log_term() > voter.last_log_term()
+                or (
+                    candidate.last_log_term() == voter.last_log_term()
+                    and len(candidate.log) >= len(voter.log)
+                )
+            )
+            fresh_term = candidate.current_term > voter.current_term or (
+                candidate.current_term == voter.current_term
+                and voter.voted_for in (None, candidate.name)
+            )
+            if up_to_date and fresh_term:
+                voter.current_term = candidate.current_term
+                voter.voted_for = candidate.name
+                voter.role = Role.FOLLOWER
+                votes += 1
+        if votes < self.majority():
+            candidate.role = Role.FOLLOWER
+            raise OrderingError(
+                f"{candidate.name!r} failed to win a majority ({votes})"
+            )
+        candidate.role = Role.LEADER
+        self.leader = candidate.name
+        return candidate.name
+
+    def require_leader(self) -> RaftNode:
+        if self.leader is None:
+            self.elect()
+        leader = self.node(self.leader)  # type: ignore[arg-type]
+        if leader.crashed:
+            raise OrderingError("leader crashed; call elect()")
+        return leader
+
+    # -- log replication
+
+    def submit(self, tx: Transaction) -> int:
+        """Append *tx* through the leader; returns its committed index.
+
+        Replicates to all alive followers and commits on majority match.
+        Every replica that stores the entry observes its exposure — the
+        privacy cost of replicated ordering.
+        """
+        leader = self.require_leader()
+        entry = LogEntry(term=leader.current_term, tx=tx)
+        leader.log.append(entry)
+        stored = 1
+        exposure = Exposure.of(
+            identities={tx.submitter, *tx.metadata.get("participants", [])},
+            data_keys={w.key for w in tx.writes},
+        )
+        leader.observer.observe_exposure(exposure)
+        for follower in self._alive():
+            if follower.name == leader.name:
+                continue
+            # Followers with shorter logs catch up to the leader's log.
+            follower.log = [
+                LogEntry(term=e.term, tx=e.tx) for e in leader.log
+            ]
+            follower.current_term = leader.current_term
+            follower.observer.observe_exposure(exposure)
+            stored += 1
+        if stored < self.majority():
+            leader.log.pop()
+            raise OrderingError("could not replicate to a majority")
+        leader.commit_index = len(leader.log)
+        for follower in self._alive():
+            follower.commit_index = min(len(follower.log), leader.commit_index)
+        return leader.commit_index - 1
+
+    def committed_transactions(self) -> list[Transaction]:
+        """The totally-ordered committed log (from any quorum member)."""
+        leader = self.require_leader()
+        return [entry.tx for entry in leader.log[: leader.commit_index]]
+
+    # -- fault injection
+
+    def crash(self, operator: str) -> None:
+        node = self.node(f"raft-{operator}")
+        node.crashed = True
+        node.role = Role.FOLLOWER
+        if self.leader == node.name:
+            self.leader = None
+
+    def recover(self, operator: str) -> None:
+        """A crashed node rejoins with its persisted log intact."""
+        node = self.node(f"raft-{operator}")
+        node.crashed = False
+
+    def logs_consistent(self) -> bool:
+        """Safety check: all alive nodes agree on the committed prefix."""
+        alive = self._alive()
+        if not alive:
+            return True
+        reference = min(n.commit_index for n in alive)
+        prefixes = [
+            [(e.term, e.tx.tx_id) for e in n.log[:reference]] for n in alive
+        ]
+        return all(p == prefixes[0] for p in prefixes[1:])
+
+    def operators_with_visibility(self) -> set[str]:
+        """Every operator whose replica saw transaction contents."""
+        return {
+            node.operator
+            for node in self.nodes.values()
+            if node.observer.messages_observed > 0
+        }

@@ -1,0 +1,89 @@
+"""Versioned key-value world state.
+
+Each committed write bumps a key's version; transactions carry the versions
+they read, and the validator rejects a transaction whose read set is stale
+(multi-version concurrency control, as in Fabric).  The state keeps history
+so auditors can reconstruct any prior value — unless a key was migrated
+off-chain and deleted, which is the point of the paper's off-chain
+mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.common.errors import StateError
+
+
+@dataclass
+class VersionedValue:
+    """Current value, its version, and full prior history."""
+
+    value: Any
+    version: int
+    history: list[Any] = field(default_factory=list)
+
+
+class WorldState:
+    """MVCC key-value store backing one ledger."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, VersionedValue] = {}
+
+    def get(self, key: str) -> Any:
+        """Current value of *key*; raises :class:`StateError` if absent."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise StateError(f"key {key!r} not in world state")
+        return entry.value
+
+    def get_or(self, key: str, default: Any = None) -> Any:
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    def version(self, key: str) -> int:
+        """Committed version of *key* (0 if never written)."""
+        entry = self._entries.get(key)
+        return 0 if entry is None else entry.version
+
+    def exists(self, key: str) -> bool:
+        return key in self._entries
+
+    def put(self, key: str, value: Any) -> int:
+        """Commit a write; returns the new version."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = VersionedValue(value=value, version=1)
+            return 1
+        entry.history.append(entry.value)
+        entry.value = value
+        entry.version += 1
+        return entry.version
+
+    def delete(self, key: str) -> None:
+        """Remove *key* and its entire history (true erasure)."""
+        if key not in self._entries:
+            raise StateError(f"key {key!r} not in world state")
+        del self._entries[key]
+
+    def history(self, key: str) -> list[Any]:
+        """All prior values of *key*, oldest first (excludes current)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise StateError(f"key {key!r} not in world state")
+        return list(entry.history)
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        for key in self.keys():
+            yield key, self._entries[key].value
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain dict copy of the current state (for assertions/audits)."""
+        return {key: entry.value for key, entry in self._entries.items()}
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,20 @@
+"""Discrete-event simulated network with leakage-audit observer taps."""
+
+from repro.network.messages import Exposure, Message
+from repro.network.simnet import (
+    LatencyModel,
+    NetworkStats,
+    Node,
+    Observer,
+    SimNetwork,
+)
+
+__all__ = [
+    "Exposure",
+    "Message",
+    "LatencyModel",
+    "NetworkStats",
+    "Node",
+    "Observer",
+    "SimNetwork",
+]

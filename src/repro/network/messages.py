@@ -1,0 +1,69 @@
+"""Network message model.
+
+Every byte that crosses the simulated wire is a :class:`Message`.  Privacy
+analysis is message-centric: the leakage auditor inspects exactly what each
+principal received or could observe, so messages carry explicit metadata
+about the identities and data classes they expose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Exposure:
+    """What a message reveals to whoever can read it.
+
+    - ``identities``: party names visible in the clear.
+    - ``data_keys``: business-data identifiers visible in the clear.
+    - ``code_ids``: smart-contract identifiers whose logic is visible.
+
+    Encrypted payloads contribute nothing here; that is the point of
+    encrypting them.
+    """
+
+    identities: frozenset[str] = frozenset()
+    data_keys: frozenset[str] = frozenset()
+    code_ids: frozenset[str] = frozenset()
+
+    @classmethod
+    def of(
+        cls,
+        identities: set[str] | list[str] = (),
+        data_keys: set[str] | list[str] = (),
+        code_ids: set[str] | list[str] = (),
+    ) -> "Exposure":
+        return cls(
+            identities=frozenset(identities),
+            data_keys=frozenset(data_keys),
+            code_ids=frozenset(code_ids),
+        )
+
+    def merge(self, other: "Exposure") -> "Exposure":
+        return Exposure(
+            identities=self.identities | other.identities,
+            data_keys=self.data_keys | other.data_keys,
+            code_ids=self.code_ids | other.code_ids,
+        )
+
+    def is_empty(self) -> bool:
+        return not (self.identities or self.data_keys or self.code_ids)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit of simulated network traffic."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    exposure: Exposure = field(default_factory=Exposure)
+    size_bytes: int = 0
+    message_id: int = field(default_factory=lambda: next(_sequence))
+    sent_at: float = 0.0

@@ -1,0 +1,269 @@
+"""Discrete-event network simulator.
+
+The substrate every platform simulation runs on.  Provides:
+
+- registered nodes with inboxes and message handlers,
+- point-to-point sends and broadcasts with configurable latency models,
+- message loss and network partitions for fault-injection tests,
+- **observer taps**: passive principals (a curious orderer, a wiretapping
+  admin) that see traffic and whose accumulated knowledge the leakage
+  auditor later inspects,
+- cost accounting (messages, bytes, simulated time) for the S1-S3
+  scalability benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.clock import SimClock
+from repro.common.errors import DeliveryError
+from repro.common.rng import DeterministicRNG
+from repro.common.serialization import canonical_bytes
+from repro.network.messages import Exposure, Message
+
+
+@dataclass
+class LatencyModel:
+    """Per-hop delay: base + uniform jitter, in simulated seconds."""
+
+    base: float = 0.005
+    jitter: float = 0.002
+
+    def sample(self, rng: DeterministicRNG) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic accounting for benchmarks."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_transferred: int = 0
+
+
+class Observer:
+    """A passive principal accumulating everything it could see.
+
+    Observers model the paper's §3.4 concerns: the ordering service that
+    "has visibility of all DLT events", or an infrastructure administrator
+    hosting someone else's node.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seen_identities: set[str] = set()
+        self.seen_data_keys: set[str] = set()
+        self.seen_code_ids: set[str] = set()
+        self.messages_observed: int = 0
+
+    def observe(self, message: Message) -> None:
+        self.observe_exposure(message.exposure)
+
+    def observe_exposure(self, exposure: Exposure) -> None:
+        """Record knowledge gained from one observed event."""
+        self.messages_observed += 1
+        self.seen_identities |= exposure.identities
+        self.seen_data_keys |= exposure.data_keys
+        self.seen_code_ids |= exposure.code_ids
+
+    def knowledge(self) -> dict:
+        """Snapshot of accumulated knowledge (for audit reports)."""
+        return {
+            "identities": sorted(self.seen_identities),
+            "data_keys": sorted(self.seen_data_keys),
+            "code_ids": sorted(self.seen_code_ids),
+            "messages_observed": self.messages_observed,
+        }
+
+
+class Node:
+    """A network endpoint with an inbox and optional message handlers.
+
+    Each node is also an :class:`Observer` of its own inbound traffic, so
+    "what did this peer learn" falls out of the same accounting as the
+    passive taps.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inbox: list[Message] = []
+        self.observer = Observer(name)
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+
+    def on(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register a handler invoked when a message of *kind* arrives."""
+        self._handlers[kind] = handler
+
+    def deliver(self, message: Message) -> None:
+        self.inbox.append(message)
+        self.observer.observe(message)
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(message)
+
+    def drain(self, kind: str | None = None) -> list[Message]:
+        """Remove and return inbox messages (optionally of one kind)."""
+        if kind is None:
+            out, self.inbox = self.inbox, []
+            return out
+        matched = [m for m in self.inbox if m.kind == kind]
+        self.inbox = [m for m in self.inbox if m.kind != kind]
+        return matched
+
+
+@dataclass(order=True)
+class _ScheduledDelivery:
+    due: float
+    order: int
+    message: Message = field(compare=False)
+
+
+class SimNetwork:
+    """The event loop: schedule sends, run until quiescent.
+
+    Messages are delivered in timestamp order.  Partitions are symmetric
+    sets of node pairs that cannot communicate; sends across a partition
+    raise immediately (TCP connection refusal analogue), while probabilistic
+    drop models silent loss.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        rng: DeterministicRNG | None = None,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.rng = (rng or DeterministicRNG("simnet")).fork("net")
+        self.latency = latency or LatencyModel()
+        self.drop_probability = drop_probability
+        self.stats = NetworkStats()
+        self._nodes: dict[str, Node] = {}
+        self._taps: list[Observer] = []
+        self._queue: list[_ScheduledDelivery] = []
+        self._order = itertools.count()
+        self._partitions: set[frozenset[str]] = set()
+
+    # -- topology
+
+    def add_node(self, name: str) -> Node:
+        if name in self._nodes:
+            raise DeliveryError(f"node {name!r} already exists")
+        node = Node(name)
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        if name not in self._nodes:
+            raise DeliveryError(f"unknown node {name!r}")
+        return self._nodes[name]
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add_tap(self, observer: Observer) -> Observer:
+        """Attach a passive wiretap that sees *all* traffic."""
+        self._taps.append(observer)
+        return observer
+
+    # -- partitions
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between nodes *a* and *b*."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    # -- sending
+
+    def _payload_size(self, payload: Any) -> int:
+        try:
+            return len(canonical_bytes(payload))
+        except TypeError:
+            return 256  # opaque object: charge a flat envelope size
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        exposure: Exposure | None = None,
+    ) -> Message:
+        """Queue a point-to-point message; returns the message envelope."""
+        if recipient not in self._nodes:
+            raise DeliveryError(f"unknown recipient {recipient!r}")
+        if self.is_partitioned(sender, recipient):
+            raise DeliveryError(f"network partition between {sender!r} and {recipient!r}")
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            exposure=exposure or Exposure(),
+            size_bytes=self._payload_size(payload),
+            sent_at=self.clock.now,
+        )
+        self.stats.messages_sent += 1
+        if self.drop_probability > 0 and self.rng.uniform(0, 1) < self.drop_probability:
+            self.stats.messages_dropped += 1
+            return message
+        due = self.clock.now + self.latency.sample(self.rng)
+        heapq.heappush(
+            self._queue, _ScheduledDelivery(due=due, order=next(self._order), message=message)
+        )
+        return message
+
+    def broadcast(
+        self,
+        sender: str,
+        kind: str,
+        payload: Any,
+        exposure: Exposure | None = None,
+        recipients: list[str] | None = None,
+    ) -> list[Message]:
+        """Send to every node (or an explicit recipient list) except the sender."""
+        targets = recipients if recipients is not None else self.nodes()
+        return [
+            self.send(sender, target, kind, payload, exposure=exposure)
+            for target in targets
+            if target != sender
+        ]
+
+    # -- event loop
+
+    def step(self) -> bool:
+        """Deliver the next message; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.clock.advance_to(event.due)
+        message = event.message
+        for tap in self._taps:
+            tap.observe(message)
+        self.stats.messages_delivered += 1
+        self.stats.bytes_transferred += message.size_bytes
+        self._nodes[message.recipient].deliver(message)
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Deliver until quiescent; returns the number of deliveries."""
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        if steps >= max_steps and self._queue:
+            raise DeliveryError("network did not quiesce (message storm?)")
+        return steps

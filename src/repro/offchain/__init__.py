@@ -1,0 +1,10 @@
+"""Off-chain private data: hash-anchored stores with true deletion."""
+
+from repro.offchain.stores import (
+    Hosting,
+    OffChainStore,
+    StoredRecord,
+    Tombstone,
+)
+
+__all__ = ["Hosting", "OffChainStore", "StoredRecord", "Tombstone"]

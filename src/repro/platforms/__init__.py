@@ -1,0 +1,21 @@
+"""Platform simulations: Hyperledger Fabric, Corda, and Quorum."""
+
+from repro.platforms.base import (
+    Party,
+    Platform,
+    ProbeResult,
+    SupportLevel,
+)
+from repro.platforms.corda import CordaNetwork
+from repro.platforms.fabric import FabricNetwork
+from repro.platforms.quorum import QuorumNetwork
+
+__all__ = [
+    "Party",
+    "Platform",
+    "ProbeResult",
+    "SupportLevel",
+    "CordaNetwork",
+    "FabricNetwork",
+    "QuorumNetwork",
+]

@@ -1,0 +1,514 @@
+"""The Corda simulation.
+
+Section 5: "Rather than globally broadcasting transactions to all peers in
+the network or a sub-network, Corda uses a concept of peer-to-peer
+transactions...  interactions between parties are kept private, both in
+terms of the relationships that exist and data shared between them."
+
+The flow model: the initiator builds a :class:`WireTransaction`, sends it
+point-to-point to the counterparties, every participant verifies the
+attached contract *by executing business logic outside the platform* (the
+paper's off-chain execution characterization of Corda), all sign the
+Merkle root, the notary certifies uniqueness (validating: sees all;
+non-validating: sees a tear-off), and each participant's vault records the
+result.  No uninvolved node ever receives a byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import (
+    ContractError,
+    MembershipError,
+    PlatformError,
+    ValidationError,
+)
+from repro.core.mechanisms import Mechanism
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.onetime import OneTimeIdentity, OneTimeKeyFactory, resolve_owner
+from repro.crypto.symmetric import SymmetricKey
+from repro.network.messages import Exposure
+from repro.offchain.stores import Hosting, OffChainStore
+from repro.platforms.base import Party, Platform, ProbeResult, SupportLevel
+from repro.platforms.corda.notary import NotarisationReceipt, Notary
+from repro.platforms.corda.oracle import Oracle
+from repro.platforms.corda.states import Command, ContractState, StateRef
+from repro.platforms.corda.transactions import (
+    ComponentGroup,
+    FilteredTransaction,
+    SignedTransaction,
+    WireTransaction,
+)
+from repro.platforms.corda.vault import Vault
+
+NOTARY_NODE = "corda-notary"
+
+ContractVerifier = Callable[[WireTransaction], None]
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one completed flow."""
+
+    stx: SignedTransaction
+    receipt: NotarisationReceipt
+    output_refs: list[StateRef]
+
+
+class CordaNetwork(Platform):
+    """A Corda network: nodes with vaults, one notary, p2p flows."""
+
+    platform_name = "corda"
+
+    def __init__(
+        self,
+        seed: str = "corda",
+        validating_notary: bool = False,
+        notary_operator: str = "third-party",
+    ) -> None:
+        super().__init__(seed=seed)
+        self.network.add_node(NOTARY_NODE)
+        self.notary = Notary(
+            NOTARY_NODE,
+            self.scheme,
+            self.clock,
+            validating=validating_notary,
+            operator=notary_operator,
+            contract_verifier=self._verify_contracts,
+        )
+        self.vaults: dict[str, Vault] = {}
+        self.verifiers: dict[str, ContractVerifier] = {}
+        self.verifier_language: dict[str, str] = {}
+        self._onetime_factories: dict[str, OneTimeKeyFactory] = {}
+        self._onetime_index: dict[int, OneTimeIdentity] = {}
+
+    # -- membership
+
+    def onboard(self, name: str, attributes: dict | None = None) -> Party:
+        party = super().onboard(name, attributes=attributes)
+        self.vaults[name] = Vault(owner=name)
+        self._onetime_factories[name] = OneTimeKeyFactory(
+            root_certificate=party.certificate,
+            ca=self.ca,
+            scheme=self.scheme,
+            rng=self.rng.fork("onetime:" + name),
+        )
+        return party
+
+    def vault(self, name: str) -> Vault:
+        if name not in self.vaults:
+            raise PlatformError(f"unknown party {name!r}")
+        return self.vaults[name]
+
+    # -- CorDapps: contracts travel with the states that reference them
+
+    def register_contract(
+        self, contract_id: str, verifier: ContractVerifier, language: str = "kotlin"
+    ) -> None:
+        """Register the verify function participants run for a contract."""
+        self.verifiers[contract_id] = verifier
+        self.verifier_language[contract_id] = language
+
+    def _verify_contracts(self, wire: WireTransaction) -> None:
+        """Run every referenced contract's verify over the transaction."""
+        contract_ids = {state.contract_id for state in wire.outputs}
+        for contract_id in sorted(contract_ids):
+            verifier = self.verifiers.get(contract_id)
+            if verifier is None:
+                raise ContractError(f"no verifier registered for {contract_id!r}")
+            verifier(wire)
+
+    # -- confidential identities (one-time public keys, Section 2.1)
+
+    def create_confidential_identity(self, owner: str) -> OneTimeIdentity:
+        """Mint a fresh one-time key for *owner*; certificate stays off-ledger."""
+        identity = self._onetime_factories[owner].mint()
+        self._onetime_index[identity.public.y] = identity
+        return identity
+
+    def reveal_owner(self, counterparty: str, key_y: int) -> str:
+        """Resolve a one-time key via its linking certificate.
+
+        Models handing the linking certificate to an authorized
+        counterparty; anyone without the certificate only sees the key.
+        """
+        identity = self._onetime_index.get(key_y)
+        if identity is None:
+            raise MembershipError("no linking certificate available for this key")
+        owner, __ = resolve_owner(self.ca, identity.linking_certificate)
+        return owner
+
+    # -- the flow
+
+    def _signers_of(self, wire: WireTransaction) -> set[str]:
+        signers: set[str] = set()
+        for command in wire.commands:
+            signers |= set(command.signers)
+        return signers
+
+    def _participants_of(self, wire: WireTransaction) -> set[str]:
+        participants: set[str] = set()
+        for state in wire.outputs:
+            participants |= set(state.participants)
+        return participants
+
+    def build_transaction(
+        self,
+        inputs: list[StateRef],
+        outputs: list[ContractState],
+        commands: list[Command],
+        attachments: list[str] | None = None,
+    ) -> WireTransaction:
+        """Assemble a wire transaction bound to this network's notary."""
+        return WireTransaction(
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            commands=tuple(commands),
+            attachments=tuple(attachments or ()),
+            notary=NOTARY_NODE,
+            time_window=self.clock.now,
+        )
+
+    def run_flow(
+        self,
+        initiator: str,
+        wire: WireTransaction,
+        extra_signatures: dict[str, object] | None = None,
+    ) -> FlowResult:
+        """Execute the collect-signatures / notarise / finalise flow.
+
+        ``extra_signatures`` maps pseudonymous signer labels to
+        pre-computed signatures (used with one-time keys, where the signer
+        is not an onboarded legal identity).
+        """
+        participants = self._participants_of(wire)
+        signers = self._signers_of(wire)
+        legal_signers = {s for s in signers if s in self.parties}
+        if initiator not in self.parties:
+            raise MembershipError(f"initiator {initiator!r} is not onboarded")
+
+        exposure = Exposure.of(
+            identities=participants | legal_signers,
+            data_keys={k for state in wire.outputs for k in state.data},
+            code_ids={state.contract_id for state in wire.outputs},
+        )
+
+        # 1. Point-to-point proposal to every involved legal identity.
+        counterparties = (participants | legal_signers) & set(self.parties)
+        for counterparty in sorted(counterparties - {initiator}):
+            self.network.send(
+                initiator, counterparty, "flow-proposal",
+                {"tx_id": wire.tx_id}, exposure=exposure,
+            )
+
+        # 2. Every participant verifies contract logic locally (business
+        # logic executes outside the platform — the paper's Corda model).
+        self._verify_contracts(wire)
+
+        # 3. Collect signatures over the Merkle root.
+        stx = SignedTransaction(wire=wire)
+        payload = wire.signing_payload()
+        for signer in sorted(legal_signers):
+            stx.add_signature(signer, self.scheme.sign(self.parties[signer].key, payload))
+        for label, signature in (extra_signatures or {}).items():
+            stx.add_signature(label, signature)
+        missing = signers - set(stx.signatures)
+        if missing:
+            raise ValidationError(f"missing signatures from {sorted(missing)}")
+
+        # 4. Notarise.  Non-validating notaries get a tear-off only.
+        if self.notary.validating:
+            self.network.send(
+                initiator, NOTARY_NODE, "notarise-full",
+                {"tx_id": wire.tx_id}, exposure=exposure,
+            )
+            receipt = self.notary.notarise_full(stx)
+        else:
+            filtered = wire.filtered([ComponentGroup.INPUTS, ComponentGroup.NOTARY])
+            self.network.send(
+                initiator, NOTARY_NODE, "notarise-filtered",
+                {"tx_id": wire.tx_id}, exposure=Exposure(),
+            )
+            receipt = self.notary.notarise_filtered(filtered)
+
+        # 5. Finalise: record in every involved party's vault, shipping the
+        # backchain of every consumed input first (transaction resolution)
+        # — new counterparties must be able to verify provenance, which is
+        # the mechanism's inherent history disclosure.
+        for counterparty in sorted(counterparties):
+            if counterparty != initiator:
+                for ref in wire.inputs:
+                    self.resolve_backchain(initiator, counterparty, ref)
+                self.network.send(
+                    initiator, counterparty, "finalise",
+                    {"tx_id": wire.tx_id}, exposure=exposure,
+                )
+            self.vaults[counterparty].record(stx)
+        output_refs = [
+            StateRef(tx_id=wire.tx_id, index=i) for i in range(len(wire.outputs))
+        ]
+        return FlowResult(stx=stx, receipt=receipt, output_refs=output_refs)
+
+    # -- transaction resolution (backchain)
+
+    def resolve_backchain(
+        self, provider: str, requester: str, ref: StateRef
+    ):
+        """Ship a state's full lineage from *provider* to *requester*.
+
+        The requester verifies the chain structurally and records every
+        ancestor in its vault — and, unavoidably, learns everything those
+        ancestors disclose.  Returns the
+        :class:`~repro.platforms.corda.backchain.BackchainDisclosure`
+        accounting for that leak (see the S2 backchain ablation).
+        """
+        from repro.platforms.corda.backchain import (
+            collect_backchain,
+            disclosure_of,
+            verify_backchain,
+        )
+
+        for party in (provider, requester):
+            if party not in self.parties:
+                raise MembershipError(f"{party!r} is not onboarded")
+        backchain = collect_backchain(self.vaults[provider], ref.tx_id)
+        if not verify_backchain(backchain, ref):
+            raise ValidationError("backchain failed structural verification")
+        disclosure = disclosure_of(backchain)
+        for stx in backchain:
+            self.network.send(
+                provider, requester, "backchain-tx",
+                {"tx_id": stx.wire.tx_id},
+                exposure=Exposure.of(
+                    identities=disclosure.identities,
+                    data_keys=disclosure.data_keys,
+                ),
+            )
+            self.vaults[requester].transactions.setdefault(stx.wire.tx_id, stx)
+        return disclosure
+
+    # ------------------------------------------------------------------
+    # Table 1 capability probes (Corda column)
+    # ------------------------------------------------------------------
+
+    def _probe_fixture(self) -> tuple[str, str]:
+        for org in ("probe-alice", "probe-bob"):
+            if org not in self.parties:
+                self.onboard(org)
+        contract_id = "probe-iou"
+        if contract_id not in self.verifiers:
+            def verify(wire: WireTransaction) -> None:
+                for state in wire.outputs:
+                    if state.contract_id == contract_id and state.data.get("amount", 0) <= 0:
+                        raise ContractError("IOU amount must be positive")
+            self.register_contract(contract_id, verify, language="kotlin")
+        return "probe-alice", "probe-bob"
+
+    def _issue_probe_state(self, alice: str, bob: str, amount: int = 10) -> FlowResult:
+        state = ContractState(
+            contract_id="probe-iou", participants=(alice, bob),
+            data={"amount": amount},
+        )
+        wire = self.build_transaction(
+            inputs=[], outputs=[state],
+            commands=[Command(name="Issue", signers=(alice, bob))],
+        )
+        return self.run_flow(alice, wire)
+
+    def _probe_separation_of_ledgers_parties(self) -> ProbeResult:
+        alice, bob = self._probe_fixture()
+        if "probe-carol" not in self.parties:
+            self.onboard("probe-carol")
+        self._issue_probe_state(alice, bob)
+        self.network.run()
+        carol = self.network.node("probe-carol").observer
+        leaked = carol.seen_identities & {alice, bob}
+        return self._result(
+            Mechanism.SEPARATION_OF_LEDGERS_PARTIES,
+            SupportLevel.NATIVE if not leaked else SupportLevel.REWRITE,
+            "per-transaction segregation: p2p flows reach involved parties "
+            f"only; an uninvolved node observed {sorted(leaked) or 'nothing'}",
+        )
+
+    def _probe_one_time_public_keys(self) -> ProbeResult:
+        alice, bob = self._probe_fixture()
+        identity = self.create_confidential_identity(alice)
+        state = ContractState(
+            contract_id="probe-iou", participants=(alice, bob),
+            data={"amount": 5}, owner_key_y=identity.public.y,
+        )
+        wire = self.build_transaction(
+            inputs=[], outputs=[state],
+            commands=[Command(name="Issue", signers=(alice, bob))],
+        )
+        result = self.run_flow(alice, wire)
+        recorded = self.vault(bob).state_at(result.output_refs[0])
+        owner = self.reveal_owner(bob, recorded.owner_key_y)
+        return self._result(
+            Mechanism.ONE_TIME_PUBLIC_KEYS,
+            SupportLevel.NATIVE if owner == alice else SupportLevel.REWRITE,
+            "confidential identities: ownership recorded against a fresh "
+            "key, resolvable only via the off-ledger linking certificate",
+        )
+
+    def _probe_zkp_of_identity(self) -> ProbeResult:
+        # Corda flows are addressed to legal identities on the network map;
+        # there is no credential-presentation hook, so anonymous-credential
+        # identity requires rewriting the flow framework (paper: '-').
+        has_anonymous_membership = hasattr(self, "idemix_issuer")
+        try:
+            self.run_flow(
+                "unknown-anonymous-party",
+                self.build_transaction(inputs=[], outputs=[], commands=[]),
+            )
+            flow_accepts_anonymous = True
+        except MembershipError:
+            flow_accepts_anonymous = False
+        level = (
+            SupportLevel.NATIVE
+            if has_anonymous_membership or flow_accepts_anonymous
+            else SupportLevel.REWRITE
+        )
+        return self._result(
+            Mechanism.ZKP_OF_IDENTITY, level,
+            "flows require onboarded legal identities; no ZKP credential "
+            "hook exists in the session layer",
+        )
+
+    def _probe_separation_of_ledgers_data(self) -> ProbeResult:
+        alice, bob = self._probe_fixture()
+        if "probe-carol" not in self.parties:
+            self.onboard("probe-carol")
+        self._issue_probe_state(alice, bob, amount=77)
+        self.network.run()
+        carol = self.network.node("probe-carol").observer
+        leaked = "amount" in carol.seen_data_keys
+        return self._result(
+            Mechanism.SEPARATION_OF_LEDGERS_DATA,
+            SupportLevel.REWRITE if leaked else SupportLevel.NATIVE,
+            "transaction data travels point-to-point to participants only",
+        )
+
+    def _probe_off_chain_peer_data(self) -> ProbeResult:
+        # No native PDC equivalent: applications attach hash references to
+        # states and keep payloads in their own stores ('*').
+        alice, bob = self._probe_fixture()
+        store = OffChainStore("corda-app-store", hosting=Hosting.EXTERNAL,
+                              authorized={alice})
+        anchor = store.put("kyc-file", {"passport": "X123"}, now=self.clock.now)
+        state = ContractState(
+            contract_id="probe-iou", participants=(alice, bob),
+            data={"amount": 1, "kyc_anchor": anchor},
+        )
+        wire = self.build_transaction(
+            inputs=[], outputs=[state],
+            commands=[Command(name="Issue", signers=(alice, bob))],
+        )
+        self.run_flow(alice, wire)
+        verified = store.verify_anchor("kyc-file", anchor, alice)
+        native_api = hasattr(self, "create_collection")
+        return self._result(
+            Mechanism.OFF_CHAIN_PEER_DATA,
+            SupportLevel.NATIVE if native_api
+            else SupportLevel.IMPLEMENTABLE if verified
+            else SupportLevel.REWRITE,
+            "no native private-data collections; applications anchor "
+            "hashes in states and host payloads themselves",
+        )
+
+    def _probe_symmetric_encryption(self) -> ProbeResult:
+        alice, bob = self._probe_fixture()
+        key = SymmetricKey.from_seed("corda-probe-key")
+        ciphertext = key.encrypt(b"trade terms", self.rng.fork("sym"))
+        state = ContractState(
+            contract_id="probe-iou", participants=(alice, bob),
+            data={"amount": 2, "terms_enc": ciphertext.body.hex()},
+        )
+        wire = self.build_transaction(
+            inputs=[], outputs=[state],
+            commands=[Command(name="Issue", signers=(alice, bob))],
+        )
+        result = self.run_flow(alice, wire)
+        stored = self.vault(bob).state_at(result.output_refs[0])
+        ok = stored.data["terms_enc"] == ciphertext.body.hex()
+        return self._result(
+            Mechanism.SYMMETRIC_ENCRYPTION,
+            SupportLevel.NATIVE if ok else SupportLevel.REWRITE,
+            "state fields are opaque; symmetric ciphertext round-trips "
+            "through the flow unchanged",
+        )
+
+    def _probe_merkle_tear_offs(self) -> ProbeResult:
+        alice, bob = self._probe_fixture()
+        state = ContractState(
+            contract_id="probe-iou", participants=(alice, bob),
+            data={"amount": 3, "secret-margin": 9},
+        )
+        wire = self.build_transaction(
+            inputs=[], outputs=[state],
+            commands=[Command(name="Issue", signers=(alice, bob),
+                              payload={"fact": "fx", "value": 1.25})],
+        )
+        filtered = wire.filtered([ComponentGroup.COMMANDS, ComponentGroup.NOTARY])
+        root_matches = filtered.verify()
+        hides_outputs = not filtered.visible_of_group("outputs")
+        return self._result(
+            Mechanism.MERKLE_TEAR_OFFS,
+            SupportLevel.NATIVE if root_matches and hides_outputs
+            else SupportLevel.REWRITE,
+            "FilteredTransaction is a first-class API: a signer verifies "
+            "the root while output components stay hidden",
+        )
+
+    def _probe_install_on_involved_nodes(self) -> ProbeResult:
+        # Not applicable: contracts attach to states and travel with them;
+        # there is no separate installation step to scope (Table 1: N/A).
+        return self._result(
+            Mechanism.INSTALL_ON_INVOLVED_NODES,
+            SupportLevel.NOT_APPLICABLE,
+            "contract code is referenced by states and distributed with "
+            "them; no installation step exists to restrict",
+            exercised=False,
+        )
+
+    def _probe_off_chain_execution_engine(self) -> ProbeResult:
+        # Native: flows execute business logic outside the platform; the
+        # on-ledger contract only verifies signatures/structure (paper S5).
+        alice, bob = self._probe_fixture()
+        language = self.verifier_language.get("probe-iou", "")
+        result = self._issue_probe_state(alice, bob, amount=4)
+        return self._result(
+            Mechanism.OFF_CHAIN_EXECUTION_ENGINE,
+            SupportLevel.NATIVE if result.receipt is not None else SupportLevel.REWRITE,
+            f"business logic ran outside the ledger (verifier language "
+            f"{language!r}); the platform only checked signatures and "
+            "uniqueness",
+        )
+
+    def _probe_trusted_execution_environment(self) -> ProbeResult:
+        # R3's SGX integration is a design document (paper ref [17]); the
+        # released platform has no enclave path.
+        flow_uses_enclave = False
+        return self._result(
+            Mechanism.TRUSTED_EXECUTION_ENVIRONMENT,
+            SupportLevel.NATIVE if flow_uses_enclave else SupportLevel.REWRITE,
+            "SGX integration exists only as a design doc (ref [17]); "
+            "verification inside enclaves requires rewriting the node",
+            exercised=False,
+        )
+
+    def _probe_private_sequencing_service(self) -> ProbeResult:
+        member_notary = Notary(
+            "member-notary", self.scheme, self.clock,
+            validating=False, operator="probe-alice",
+        )
+        return self._result(
+            Mechanism.PRIVATE_SEQUENCING_SERVICE,
+            SupportLevel.NATIVE
+            if member_notary.is_member_operated({"probe-alice", "probe-bob"})
+            else SupportLevel.REWRITE,
+            "any party can run a notary cluster; combined with tear-offs "
+            "it sees only opaque state references",
+        )

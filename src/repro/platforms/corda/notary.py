@@ -1,0 +1,138 @@
+"""Corda notaries.
+
+The notary is Corda's ordering/uniqueness service: it prevents double
+spends by tracking consumed state refs.  Two flavors matter for privacy
+(paper Section 3.4 — the ordering service "has visibility of all DLT
+events" *for validating notaries*):
+
+- **validating**: receives the full transaction, re-runs contract
+  verification — sees parties and data (FULL visibility);
+- **non-validating**: receives a :class:`FilteredTransaction` exposing only
+  the input refs and notary component — sees almost nothing (HASH_ONLY
+  visibility), which is the tear-off mechanism earning its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.clock import SimClock
+from repro.common.errors import DoubleSpendError, ProofError, ValidationError
+from repro.crypto.signatures import PrivateKey, Signature, SignatureScheme
+from repro.network.messages import Exposure
+from repro.network.simnet import Observer
+from repro.platforms.corda.states import StateRef
+from repro.platforms.corda.transactions import (
+    ComponentGroup,
+    FilteredTransaction,
+    SignedTransaction,
+)
+
+
+@dataclass
+class NotarisationReceipt:
+    """The notary's signature over a transaction id it accepted."""
+
+    tx_id: str
+    notary: str
+    signature: Signature
+
+
+class Notary:
+    """A (cluster of) uniqueness service(s) with a spent-ref map."""
+
+    def __init__(
+        self,
+        name: str,
+        scheme: SignatureScheme,
+        clock: SimClock,
+        validating: bool,
+        operator: str = "third-party",
+        contract_verifier: Callable | None = None,
+        capacity_tps: float = 500.0,
+    ) -> None:
+        self.name = name
+        self.scheme = scheme
+        self.clock = clock
+        self.validating = validating
+        self.operator = operator
+        self.contract_verifier = contract_verifier
+        self.capacity_tps = capacity_tps
+        self.observer = Observer(name)
+        self.key = scheme.keygen_from_seed("notary:" + name)
+        self._spent: dict[StateRef, str] = {}
+        self._busy_until = 0.0
+        self.total_notarised = 0
+
+    def _consume(self, refs: list[StateRef], tx_id: str) -> None:
+        for ref in refs:
+            if ref in self._spent and self._spent[ref] != tx_id:
+                raise DoubleSpendError(
+                    f"input {ref} already consumed by {self._spent[ref]}"
+                )
+        for ref in refs:
+            self._spent[ref] = tx_id
+
+    def _service_delay(self) -> float:
+        start = max(self._busy_until, self.clock.now)
+        self._busy_until = start + 1.0 / self.capacity_tps
+        return self._busy_until
+
+    def notarise_full(self, stx: SignedTransaction) -> NotarisationReceipt:
+        """Validating path: full visibility, contract re-verification."""
+        if not self.validating:
+            raise ValidationError(
+                f"notary {self.name!r} is non-validating; send a filtered tx"
+            )
+        wire = stx.wire
+        # Full visibility: the notary learns parties and data.
+        identities = set()
+        data_keys = set()
+        for state in wire.outputs:
+            identities |= set(state.participants)
+            data_keys |= set(state.data)
+        self.observer.observe_exposure(
+            Exposure.of(identities=identities, data_keys=data_keys)
+        )
+        if self.contract_verifier is not None:
+            self.contract_verifier(wire)
+        self._consume(list(wire.inputs), wire.tx_id)
+        self.total_notarised += 1
+        self._service_delay()
+        return NotarisationReceipt(
+            tx_id=wire.tx_id,
+            notary=self.name,
+            signature=self.scheme.sign(self.key, wire.signing_payload()),
+        )
+
+    def notarise_filtered(self, ftx: FilteredTransaction) -> NotarisationReceipt:
+        """Non-validating path: only input refs and notary name visible."""
+        if self.validating:
+            raise ValidationError(
+                f"notary {self.name!r} is validating; send the full tx"
+            )
+        if not ftx.verify():
+            raise ProofError("filtered transaction does not match its root")
+        visible_inputs = ftx.visible_of_group("inputs")
+        refs = [StateRef(tx_id=c["tx_id"], index=c["index"]) for c in visible_inputs]
+        # The notary learns only opaque references — no identities, no data.
+        self.observer.observe_exposure(Exposure())
+        self._consume(refs, ftx.tx_id)
+        self.total_notarised += 1
+        self._service_delay()
+        return NotarisationReceipt(
+            tx_id=ftx.tx_id,
+            notary=self.name,
+            signature=self.scheme.sign(self.key, ftx.signing_payload()),
+        )
+
+    def is_spent(self, ref: StateRef) -> bool:
+        return ref in self._spent
+
+    def is_member_operated(self, members: set[str]) -> bool:
+        """Whether a transacting party runs this notary (private sequencing)."""
+        return self.operator in members
+
+    def knowledge(self) -> dict:
+        return self.observer.knowledge()

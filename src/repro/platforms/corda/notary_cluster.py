@@ -1,0 +1,116 @@
+"""Notary clusters.
+
+Production Corda notaries run as fault-tolerant clusters; the paper's
+§3.4 "can parties feasibly run their own service" question therefore
+means running a *cluster*.  :class:`NotaryCluster` wraps N replica
+notaries: a transaction is notarised when a majority of alive replicas
+accept it (each enforcing its own spent-ref map), yielding a quorum
+receipt.  Crash a minority and service continues; crash a majority and
+notarisation halts rather than risking a double spend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.errors import DoubleSpendError, OrderingError
+from repro.crypto.signatures import Signature, SignatureScheme
+from repro.platforms.corda.notary import NotarisationReceipt, Notary
+from repro.platforms.corda.transactions import (
+    FilteredTransaction,
+    SignedTransaction,
+)
+
+
+@dataclass
+class QuorumReceipt:
+    """Majority evidence that a transaction's inputs were unique."""
+
+    tx_id: str
+    receipts: list[NotarisationReceipt] = field(default_factory=list)
+
+    @property
+    def signer_count(self) -> int:
+        return len(self.receipts)
+
+
+class NotaryCluster:
+    """N replica notaries with majority-quorum notarisation."""
+
+    def __init__(
+        self,
+        name: str,
+        scheme: SignatureScheme,
+        clock: SimClock,
+        replicas: int = 3,
+        validating: bool = False,
+        operator: str = "third-party",
+    ) -> None:
+        if replicas < 3 or replicas % 2 == 0:
+            raise OrderingError("a notary cluster needs an odd size >= 3")
+        self.name = name
+        self.replicas = [
+            Notary(
+                f"{name}-r{i}", scheme, clock,
+                validating=validating, operator=operator,
+            )
+            for i in range(replicas)
+        ]
+        self._crashed: set[str] = set()
+
+    def majority(self) -> int:
+        return len(self.replicas) // 2 + 1
+
+    def crash(self, index: int) -> None:
+        self._crashed.add(self.replicas[index].name)
+
+    def recover(self, index: int) -> None:
+        self._crashed.discard(self.replicas[index].name)
+
+    def _alive(self) -> list[Notary]:
+        return [r for r in self.replicas if r.name not in self._crashed]
+
+    def notarise_filtered(self, ftx: FilteredTransaction) -> QuorumReceipt:
+        """Collect a majority of replica signatures over the tear-off.
+
+        A replica that has already consumed an input rejects; one rejection
+        for double-spend reasons fails the whole request (the conflict is
+        real), while crashed replicas are simply skipped.
+        """
+        alive = self._alive()
+        if len(alive) < self.majority():
+            raise OrderingError("notary cluster lost its quorum")
+        quorum = QuorumReceipt(tx_id=ftx.tx_id)
+        for replica in alive:
+            try:
+                quorum.receipts.append(replica.notarise_filtered(ftx))
+            except DoubleSpendError:
+                raise
+            if quorum.signer_count >= self.majority():
+                return quorum
+        raise OrderingError("could not assemble a notarisation majority")
+
+    def notarise_full(self, stx: SignedTransaction) -> QuorumReceipt:
+        """Validating-cluster path (every replica re-verifies contracts)."""
+        alive = self._alive()
+        if len(alive) < self.majority():
+            raise OrderingError("notary cluster lost its quorum")
+        quorum = QuorumReceipt(tx_id=stx.wire.tx_id)
+        for replica in alive:
+            quorum.receipts.append(replica.notarise_full(stx))
+            if quorum.signer_count >= self.majority():
+                return quorum
+        raise OrderingError("could not assemble a notarisation majority")
+
+    def combined_knowledge(self) -> dict:
+        """Union of every replica's accumulated observations."""
+        identities: set[str] = set()
+        data_keys: set[str] = set()
+        for replica in self.replicas:
+            identities |= replica.observer.seen_identities
+            data_keys |= replica.observer.seen_data_keys
+        return {
+            "identities": sorted(identities),
+            "data_keys": sorted(data_keys),
+        }

@@ -1,0 +1,24 @@
+"""Hyperledger Fabric simulation: channels, chaincode, PDCs, Idemix, orderer."""
+
+from repro.platforms.fabric.channel import ChaincodeDefinition, Channel
+from repro.platforms.fabric.network import (
+    ANONYMOUS_CLIENT,
+    ORDERER_NODE,
+    FabricNetwork,
+    InvokeResult,
+    ProposedTransaction,
+    ValidationCode,
+)
+from repro.platforms.fabric.pdc import PrivateDataCollection
+
+__all__ = [
+    "ChaincodeDefinition",
+    "Channel",
+    "FabricNetwork",
+    "InvokeResult",
+    "ProposedTransaction",
+    "ValidationCode",
+    "PrivateDataCollection",
+    "ANONYMOUS_CLIENT",
+    "ORDERER_NODE",
+]

@@ -1,0 +1,134 @@
+"""Fabric channels.
+
+Section 5: "The primary mechanisms for privacy and confidentiality
+preservation is through channels, which provide a separate ledger for a
+subset of participants.  Identities of channel members are not revealed to
+the wider network and transactions are only shared between channel
+members."
+
+A channel bundles: a member set, a hash-linked chain, per-member world
+state replicas (all kept identical by the commit path), an endorsement
+policy, committed chaincode definitions, and any private data collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import (
+    ContractError,
+    MembershipError,
+    ValidationError,
+)
+from repro.ledger.block import Chain
+from repro.ledger.state import WorldState
+from repro.ledger.transaction import Transaction
+from repro.ledger.validation import EndorsementPolicy
+from repro.platforms.fabric.pdc import PrivateDataCollection
+
+
+@dataclass
+class ChaincodeDefinition:
+    """A committed chaincode definition: id, version, endorsement policy."""
+
+    contract_id: str
+    version: int
+    policy: EndorsementPolicy
+    approvals: set[str] = field(default_factory=set)
+    committed: bool = False
+
+
+class Channel:
+    """One Fabric channel: membership boundary + ledger + lifecycle state."""
+
+    def __init__(self, name: str, members: list[str]) -> None:
+        if len(members) < 1:
+            raise MembershipError("a channel needs at least one member")
+        self.name = name
+        self.members: frozenset[str] = frozenset(members)
+        self.chain = Chain(name)
+        # Per-member state replicas; the commit path applies every write to
+        # every replica, and tests assert the replicas never diverge.
+        self.states: dict[str, WorldState] = {m: WorldState() for m in members}
+        self.definitions: dict[str, ChaincodeDefinition] = {}
+        self.collections: dict[str, PrivateDataCollection] = {}
+        self.committed_tx_ids: list[str] = []
+        self.invalid_tx_ids: list[str] = []
+
+    def require_member(self, org: str) -> None:
+        if org not in self.members:
+            raise MembershipError(
+                f"{org!r} is not a member of channel {self.name!r}"
+            )
+
+    # -- chaincode lifecycle (approve -> commit)
+
+    def approve_definition(
+        self, org: str, contract_id: str, version: int, policy: EndorsementPolicy
+    ) -> None:
+        """One org's approval of a chaincode definition."""
+        self.require_member(org)
+        definition = self.definitions.get(contract_id)
+        if definition is None or definition.version != version:
+            definition = ChaincodeDefinition(
+                contract_id=contract_id, version=version, policy=policy
+            )
+            self.definitions[contract_id] = definition
+        definition.approvals.add(org)
+
+    def commit_definition(self, contract_id: str) -> ChaincodeDefinition:
+        """Commit once a majority of members have approved."""
+        definition = self.definitions.get(contract_id)
+        if definition is None:
+            raise ContractError(f"no approvals for chaincode {contract_id!r}")
+        if len(definition.approvals) * 2 <= len(self.members):
+            raise ContractError(
+                f"chaincode {contract_id!r} lacks majority approval "
+                f"({len(definition.approvals)}/{len(self.members)})"
+            )
+        definition.committed = True
+        return definition
+
+    def committed_definition(self, contract_id: str) -> ChaincodeDefinition:
+        definition = self.definitions.get(contract_id)
+        if definition is None or not definition.committed:
+            raise ContractError(
+                f"chaincode {contract_id!r} is not committed on channel {self.name!r}"
+            )
+        return definition
+
+    # -- private data collections
+
+    def create_collection(self, name: str, members: list[str]) -> PrivateDataCollection:
+        for member in members:
+            self.require_member(member)
+        collection = PrivateDataCollection.create(name, members)
+        self.collections[name] = collection
+        return collection
+
+    def collection(self, name: str) -> PrivateDataCollection:
+        if name not in self.collections:
+            raise MembershipError(f"no collection {name!r} on channel {self.name!r}")
+        return self.collections[name]
+
+    # -- state access
+
+    def state_of(self, org: str) -> WorldState:
+        self.require_member(org)
+        return self.states[org]
+
+    def reference_state(self) -> WorldState:
+        """Any replica (they are identical); used for validation reads."""
+        return next(iter(self.states.values()))
+
+    def replicas_consistent(self) -> bool:
+        """True iff every member's replica holds the same snapshot."""
+        snapshots = [state.snapshot() for state in self.states.values()]
+        return all(s == snapshots[0] for s in snapshots[1:])
+
+    def record_commit(self, tx: Transaction, valid: bool) -> None:
+        if valid:
+            self.committed_tx_ids.append(tx.tx_id)
+        else:
+            self.invalid_tx_ids.append(tx.tx_id)

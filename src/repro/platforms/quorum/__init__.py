@@ -1,0 +1,19 @@
+"""Quorum simulation: public chain, private state, private tx manager."""
+
+from repro.platforms.quorum.network import (
+    SEQUENCER_NODE,
+    QuorumNetwork,
+    QuorumTxResult,
+)
+from repro.platforms.quorum.txmanager import (
+    PrivateTransactionManager,
+    StoredPayload,
+)
+
+__all__ = [
+    "QuorumNetwork",
+    "QuorumTxResult",
+    "SEQUENCER_NODE",
+    "PrivateTransactionManager",
+    "StoredPayload",
+]

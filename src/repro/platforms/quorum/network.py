@@ -1,0 +1,572 @@
+"""The Quorum simulation.
+
+Section 5: "Its key differentiator is the ability to store private state
+separate from the public ledger...  One key limitation of the private
+transaction model in Quorum is that it does not prevent the double
+spending of assets...  Another major drawback of Quorum is that the public
+ledger includes private transactions, including the list of participants
+of the transaction, revealing to the entire network which parties are
+interacting."
+
+Both documented weaknesses are reproduced faithfully and demonstrated by
+dedicated methods: :meth:`demonstrate_private_double_spend` succeeds (the
+flaw), while the same spend on public state is rejected; and every private
+transaction broadcast exposes its participant list to all nodes (checked
+by the leakage audit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    ContractError,
+    DoubleSpendError,
+    MembershipError,
+    PlatformError,
+    PrivacyError,
+    ValidationError,
+)
+from repro.core.mechanisms import Mechanism
+from repro.crypto.symmetric import SymmetricKey
+from repro.execution.contracts import SmartContract, StateView
+from repro.ledger.block import Chain
+from repro.ledger.ordering import OrdererVisibility, OrderingService
+from repro.ledger.state import WorldState
+from repro.ledger.transaction import Transaction, WriteEntry
+from repro.network.messages import Exposure
+from repro.platforms.base import Platform, ProbeResult, SupportLevel
+from repro.platforms.quorum.txmanager import PrivateTransactionManager
+
+SEQUENCER_NODE = "quorum-consensus"
+
+
+@dataclass
+class QuorumTxResult:
+    """Outcome of one (public or private) transaction."""
+
+    tx: Transaction
+    payload_hash: str | None
+    participants: list[str]
+    return_values: dict[str, object]
+
+
+class QuorumNetwork(Platform):
+    """A Quorum network: shared public chain, per-node private state."""
+
+    platform_name = "quorum"
+
+    def __init__(self, seed: str = "quorum", consensus_operator: str = "member") -> None:
+        super().__init__(seed=seed)
+        self.network.add_node(SEQUENCER_NODE)
+        self.chain = Chain("quorum-public")
+        self.public_states: dict[str, WorldState] = {}
+        self.private_states: dict[str, WorldState] = {}
+        self.managers: dict[str, PrivateTransactionManager] = {}
+        self.contracts: dict[str, SmartContract] = {}
+        self.contract_hosts: dict[str, set[str]] = {}
+        self.consensus_operator = consensus_operator
+        self.sequencer = OrderingService(
+            SEQUENCER_NODE,
+            self.clock,
+            visibility=OrdererVisibility.FULL,
+            operator=consensus_operator,
+        )
+
+    # -- membership
+
+    def onboard(self, name: str, attributes: dict | None = None):
+        party = super().onboard(name, attributes=attributes)
+        self.public_states[name] = WorldState()
+        self.private_states[name] = WorldState()
+        self.managers[name] = PrivateTransactionManager(
+            name, rng=self.rng.fork("tm:" + name)
+        )
+        if self.consensus_operator == "member" and len(self.parties) == 1:
+            # First onboarded member operates consensus in this deployment.
+            self.sequencer.operator = name
+        return party
+
+    # -- contract deployment
+
+    def deploy_contract(
+        self,
+        deployer: str,
+        contract: SmartContract,
+        private_for: list[str] | None = None,
+    ) -> None:
+        """Deploy a contract publicly or privately.
+
+        Private deployment distributes the code only to ``private_for``
+        (plus the deployer); other nodes never see the bytecode — Quorum's
+        native 'install on involved nodes' equivalent.
+        """
+        if deployer not in self.parties:
+            raise MembershipError(f"{deployer!r} is not onboarded")
+        if contract.language != "evm-solidity":
+            raise ContractError("Quorum contracts must target the EVM")
+        self.contracts[contract.contract_id] = contract
+        if private_for is None:
+            self.contract_hosts[contract.contract_id] = set(self.parties)
+        else:
+            hosts = set(private_for) | {deployer}
+            unknown = hosts - set(self.parties)
+            if unknown:
+                raise MembershipError(f"unknown parties {sorted(unknown)}")
+            self.contract_hosts[contract.contract_id] = hosts
+
+    def code_visible_to(self, contract_id: str) -> set[str]:
+        if contract_id not in self.contract_hosts:
+            raise ContractError(f"unknown contract {contract_id!r}")
+        return set(self.contract_hosts[contract_id])
+
+    # -- transaction paths
+
+    def _execute(
+        self,
+        node: str,
+        contract_id: str,
+        function: str,
+        args: dict,
+        state: WorldState,
+    ):
+        contract = self.contracts[contract_id]
+        if node not in self.contract_hosts[contract_id]:
+            raise PrivacyError(f"{node!r} has no code for {contract_id!r}")
+        view = StateView(
+            state.snapshot(), {k: state.version(k) for k in state.keys()}
+        )
+        value = contract.invoke(function, view, args)
+        for key, val in view.writes.items():
+            state.put(key, val)
+        for key in view.deletes:
+            if state.exists(key):
+                state.delete(key)
+        return value, view
+
+    def send_public_transaction(
+        self, sender: str, contract_id: str, function: str, args: dict
+    ) -> QuorumTxResult:
+        """A normal Ethereum-style transaction: everyone sees everything."""
+        if sender not in self.parties:
+            raise MembershipError(f"{sender!r} is not onboarded")
+        return_values = {}
+        view = None
+        for node in sorted(self.parties):
+            value, view = self._execute(
+                node, contract_id, function, args, self.public_states[node]
+            )
+            return_values[node] = value
+        writes = tuple(
+            WriteEntry(key=k, value=v) for k, v in sorted(view.writes.items())
+        )
+        tx = Transaction(
+            channel="quorum-public",
+            submitter=sender,
+            writes=writes,
+            metadata={"kind": "public", "participants": sorted(self.parties)},
+            timestamp=self.clock.now,
+        )
+        exposure = Exposure.of(
+            identities={sender},
+            data_keys=set(view.writes) | set(view.reads),
+            code_ids={contract_id},
+        )
+        self.network.broadcast(sender, "public-tx", {"tx_id": tx.tx_id}, exposure=exposure)
+        self.sequencer.submit(tx)
+        self.sequencer.cut_batch("quorum-public")
+        self.chain.append([tx], self.clock.now)
+        return QuorumTxResult(
+            tx=tx, payload_hash=None,
+            participants=sorted(self.parties), return_values=return_values,
+        )
+
+    def send_private_transaction(
+        self,
+        sender: str,
+        contract_id: str,
+        function: str,
+        args: dict,
+        private_for: list[str],
+    ) -> QuorumTxResult:
+        """A private transaction: payload to participants, hash to everyone.
+
+        Faithful to the paper's two leaks: (1) the broadcast carries the
+        participant list in the clear; (2) there is no cross-group double
+        spend check because non-participants cannot validate.
+        """
+        if sender not in self.parties:
+            raise MembershipError(f"{sender!r} is not onboarded")
+        participants = sorted(set(private_for) | {sender})
+        payload = {"contract": contract_id, "function": function, "args": args}
+        payload_hash = self.managers[sender].distribute(
+            payload, participants, self.managers
+        )
+        # The encrypted payload crosses the wire once per recipient; the
+        # ciphertext itself exposes nothing (empty exposure).
+        for participant in participants:
+            if participant != sender:
+                self.network.send(
+                    sender, participant, "private-payload",
+                    {"hash": payload_hash}, exposure=Exposure(),
+                )
+        # Participants resolve the payload and update their private state.
+        return_values = {}
+        for participant in participants:
+            resolved = self.managers[participant].resolve(payload_hash)
+            value, __ = self._execute(
+                participant,
+                resolved["contract"],
+                resolved["function"],
+                resolved["args"],
+                self.private_states[participant],
+            )
+            return_values[participant] = value
+        # The public transaction: hash only — but participants in the clear.
+        tx = Transaction(
+            channel="quorum-public",
+            submitter=sender,
+            private_hashes={"payload": payload_hash},
+            metadata={"kind": "private", "participants": participants},
+            timestamp=self.clock.now,
+        )
+        leak_exposure = Exposure.of(identities=set(participants))
+        self.network.broadcast(sender, "private-tx", {"tx_id": tx.tx_id}, exposure=leak_exposure)
+        self.sequencer.submit(tx)
+        self.sequencer.cut_batch("quorum-public")
+        self.chain.append([tx], self.clock.now)
+        return QuorumTxResult(
+            tx=tx, payload_hash=payload_hash,
+            participants=participants, return_values=return_values,
+        )
+
+    # -- the documented double-spend flaw
+
+    def demonstrate_private_double_spend(
+        self, owner: str, asset_key: str, group_a: list[str], group_b: list[str]
+    ) -> dict:
+        """Spend the same private asset into two disjoint groups.
+
+        Succeeds — the paper's point.  Returns the resulting divergent
+        private views so tests can assert both groups believe they own it.
+        """
+        def spend(view: StateView, args: dict):
+            view.put(args["asset"], {"owner": args["to"]})
+            return args["to"]
+
+        contract = SmartContract(
+            contract_id="asset-private", version=1, language="evm-solidity",
+            functions={"spend": spend},
+        )
+        everyone = sorted(self.parties)
+        self.deploy_contract(owner, contract, private_for=everyone)
+        self.send_private_transaction(
+            owner, "asset-private", "spend",
+            {"asset": asset_key, "to": group_a[0]}, private_for=group_a,
+        )
+        self.send_private_transaction(
+            owner, "asset-private", "spend",
+            {"asset": asset_key, "to": group_b[0]}, private_for=group_b,
+        )
+        return {
+            "group_a_view": self.private_states[group_a[0]].get(asset_key),
+            "group_b_view": self.private_states[group_b[0]].get(asset_key),
+        }
+
+    def attempt_public_double_spend(
+        self, owner: str, asset_key: str, first_to: str, second_to: str
+    ) -> None:
+        """The same spend on public state: the second transfer is rejected
+        because every node validates ownership against shared state."""
+        def spend(view: StateView, args: dict):
+            current = view.get(args["asset"])
+            if current is not None and current.get("owner") != args["from"]:
+                raise DoubleSpendError(
+                    f"{args['from']!r} does not own {args['asset']!r}"
+                )
+            view.put(args["asset"], {"owner": args["to"]})
+            return args["to"]
+
+        contract = SmartContract(
+            contract_id="asset-public", version=1, language="evm-solidity",
+            functions={"spend": spend},
+        )
+        self.deploy_contract(owner, contract)
+        self.send_public_transaction(
+            owner, "asset-public", "spend",
+            {"asset": asset_key, "from": owner, "to": first_to},
+        )
+        # Second spend by the original owner must now fail on every node.
+        self.send_public_transaction(
+            owner, "asset-public", "spend",
+            {"asset": asset_key, "from": owner, "to": second_to},
+        )
+
+    # -- private-state replay (node recovery)
+
+    def rebuild_private_state(self, node: str) -> WorldState:
+        """Reconstruct *node*'s private state by replaying the chain.
+
+        This is how a recovering Quorum node restores its private state:
+        walk the public chain, and for every private transaction whose
+        payload this node's manager holds, re-execute it.  The procedure
+        is also the executable reason Table 1 marks Quorum's off-chain
+        peer data as requires-rewrite: if any payload was deleted (say,
+        for a GDPR request), the replay raises and the node cannot
+        recover — deletable data is incompatible with this architecture.
+        """
+        if node not in self.parties:
+            raise MembershipError(f"{node!r} is not onboarded")
+        manager = self.managers[node]
+        rebuilt = WorldState()
+        for tx in self.chain.transactions():
+            if tx.metadata.get("kind") != "private":
+                continue
+            if node not in tx.metadata.get("participants", []):
+                continue
+            payload_hash = tx.private_hashes["payload"]
+            resolved = manager.resolve(payload_hash)  # raises if deleted
+            contract = self.contracts[resolved["contract"]]
+            view = StateView(
+                rebuilt.snapshot(),
+                {k: rebuilt.version(k) for k in rebuilt.keys()},
+            )
+            contract.invoke(resolved["function"], view, resolved["args"])
+            for key, value in view.writes.items():
+                rebuilt.put(key, value)
+            for key in view.deletes:
+                if rebuilt.exists(key):
+                    rebuilt.delete(key)
+        return rebuilt
+
+    def verify_private_state(self, node: str) -> bool:
+        """True iff the node's live private state matches a fresh replay."""
+        return (
+            self.rebuild_private_state(node).snapshot()
+            == self.private_states[node].snapshot()
+        )
+
+    # -- private-state consistency checking
+
+    def private_state_views(self, key: str) -> dict[str, object]:
+        """Every node's view of a private-state key (absent nodes omitted)."""
+        return {
+            node: self.private_states[node].get(key)
+            for node in sorted(self.parties)
+            if self.private_states[node].exists(key)
+        }
+
+    def private_state_consistent(self, key: str) -> bool:
+        """True iff all holders of *key* agree on its value.
+
+        Divergence is exactly what the paper's double-spend flaw produces:
+        two participant groups with contradictory private views and no
+        protocol-level way to reconcile them.
+        """
+        views = list(self.private_state_views(key).values())
+        return all(v == views[0] for v in views[1:])
+
+    def divergent_keys(self) -> list[str]:
+        """All private-state keys on which some nodes disagree."""
+        keys = set()
+        for node in self.parties:
+            keys.update(self.private_states[node].keys())
+        return sorted(
+            key for key in keys if not self.private_state_consistent(key)
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1 capability probes (Quorum column)
+    # ------------------------------------------------------------------
+
+    def _probe_fixture(self) -> str:
+        for org in ("probe-n1", "probe-n2", "probe-n3"):
+            if org not in self.parties:
+                self.onboard(org)
+        contract_id = "probe-store"
+        if contract_id not in self.contracts:
+            def put(view: StateView, args: dict):
+                view.put(args["key"], args["value"])
+                return args["value"]
+
+            contract = SmartContract(
+                contract_id=contract_id, version=1, language="evm-solidity",
+                functions={"put": put},
+            )
+            self.deploy_contract("probe-n1", contract)
+        return contract_id
+
+    def _probe_separation_of_ledgers_parties(self) -> ProbeResult:
+        contract_id = self._probe_fixture()
+        result = self.send_private_transaction(
+            "probe-n1", contract_id, "put", {"key": "s", "value": 1},
+            private_for=["probe-n2"],
+        )
+        self.network.run()
+        outsider = self.network.node("probe-n3").observer
+        data_leaked = "s" in outsider.seen_data_keys
+        # Private state separates *data*; but participant identities leak
+        # network-wide (still counts as ledger separation for parties at
+        # the data level — Table 1 rates the row '+').
+        return self._result(
+            Mechanism.SEPARATION_OF_LEDGERS_PARTIES,
+            SupportLevel.NATIVE if not data_leaked else SupportLevel.REWRITE,
+            "private state partitions the ledger per participant group "
+            "(though the participant list itself is broadcast — see the "
+            "leakage audit)",
+        )
+
+    def _probe_one_time_public_keys(self) -> ProbeResult:
+        # Ethereum-style accounts are just key pairs: a party can mint a
+        # fresh externally-owned account at will, but linking certificates
+        # and key management are application work: '*'.
+        self._probe_fixture()
+        fresh = self.scheme.keygen(self.rng.fork("quorum-fresh-account"))
+        account_address = fresh.public.fingerprint()
+        acceptable = len(account_address) == 16  # any key maps to an address
+        return self._result(
+            Mechanism.ONE_TIME_PUBLIC_KEYS,
+            SupportLevel.IMPLEMENTABLE if acceptable else SupportLevel.REWRITE,
+            "account-model addresses are derivable from any fresh key; the "
+            "identity-linking layer must be built by the application",
+        )
+
+    def _probe_zkp_of_identity(self) -> ProbeResult:
+        # Node-level permissioning with known identities; no anonymous
+        # credential layer exists in the protocol: '-'.
+        has_credential_hook = hasattr(self, "idemix_issuer")
+        return self._result(
+            Mechanism.ZKP_OF_IDENTITY,
+            SupportLevel.NATIVE if has_credential_hook else SupportLevel.REWRITE,
+            "the permissioned node list is identity-based; anonymous "
+            "credentials would require rewriting the membership layer",
+            exercised=False,
+        )
+
+    def _probe_separation_of_ledgers_data(self) -> ProbeResult:
+        contract_id = self._probe_fixture()
+        self.send_private_transaction(
+            "probe-n1", contract_id, "put", {"key": "priv-k", "value": 9},
+            private_for=["probe-n2"],
+        )
+        self.network.run()
+        non_participant_state = self.private_states["probe-n3"]
+        isolated = not non_participant_state.exists("priv-k")
+        return self._result(
+            Mechanism.SEPARATION_OF_LEDGERS_DATA,
+            SupportLevel.NATIVE if isolated else SupportLevel.REWRITE,
+            "private state updates apply only at payload recipients; the "
+            "public chain carries the payload hash",
+        )
+
+    def _probe_off_chain_peer_data(self) -> ProbeResult:
+        # Private payloads must remain replayable to rebuild private state;
+        # deleting one breaks resolution, so deletable off-chain peer data
+        # conflicts with the architecture: '-'.
+        contract_id = self._probe_fixture()
+        result = self.send_private_transaction(
+            "probe-n1", contract_id, "put", {"key": "gdpr-k", "value": "pii"},
+            private_for=["probe-n2"],
+        )
+        manager = self.managers["probe-n2"]
+        manager.delete(result.payload_hash)
+        try:
+            manager.resolve(result.payload_hash)
+            still_works = True
+        except Exception:
+            still_works = False
+        return self._result(
+            Mechanism.OFF_CHAIN_PEER_DATA,
+            SupportLevel.NATIVE if still_works else SupportLevel.REWRITE,
+            "deleting a private payload breaks state replay at that node; "
+            "deletable peer data requires re-architecting private state",
+        )
+
+    def _probe_symmetric_encryption(self) -> ProbeResult:
+        contract_id = self._probe_fixture()
+        key = SymmetricKey.from_seed("quorum-probe-key")
+        ciphertext = key.encrypt(b"confidential", self.rng.fork("sym"))
+        self.send_public_transaction(
+            "probe-n1", contract_id, "put",
+            {"key": "enc", "value": ciphertext.body.hex()},
+        )
+        ok = (
+            self.public_states["probe-n2"].get("enc") == ciphertext.body.hex()
+            and key.decrypt(ciphertext) == b"confidential"
+        )
+        return self._result(
+            Mechanism.SYMMETRIC_ENCRYPTION,
+            SupportLevel.NATIVE if ok else SupportLevel.REWRITE,
+            "contract storage is opaque bytes; encrypted values round-trip",
+        )
+
+    def _probe_merkle_tear_offs(self) -> ProbeResult:
+        # Transactions are monolithic RLP payloads with no component-group
+        # Merkle structure; a participant receives all or nothing: '-'.
+        contract_id = self._probe_fixture()
+        result = self.send_private_transaction(
+            "probe-n1", contract_id, "put", {"key": "t", "value": 5},
+            private_for=["probe-n2"],
+        )
+        resolved = self.managers["probe-n2"].resolve(result.payload_hash)
+        all_or_nothing = set(resolved) == {"contract", "function", "args"}
+        has_filtered_api = hasattr(result.tx, "filtered")
+        level = (
+            SupportLevel.NATIVE if has_filtered_api
+            else SupportLevel.REWRITE if all_or_nothing
+            else SupportLevel.IMPLEMENTABLE
+        )
+        return self._result(
+            Mechanism.MERKLE_TEAR_OFFS, level,
+            "payload recipients receive the full transaction payload; no "
+            "partial-visibility structure exists to tear off",
+        )
+
+    def _probe_install_on_involved_nodes(self) -> ProbeResult:
+        def noop(view: StateView, args: dict):
+            return None
+
+        contract = SmartContract(
+            contract_id="probe-private-code", version=1, language="evm-solidity",
+            functions={"noop": noop},
+        )
+        self._probe_fixture()
+        self.deploy_contract("probe-n1", contract, private_for=["probe-n2"])
+        visible = self.code_visible_to("probe-private-code")
+        return self._result(
+            Mechanism.INSTALL_ON_INVOLVED_NODES,
+            SupportLevel.NATIVE if visible == {"probe-n1", "probe-n2"}
+            else SupportLevel.REWRITE,
+            f"private contract code distributed to {sorted(visible)} only",
+        )
+
+    def _probe_off_chain_execution_engine(self) -> ProbeResult:
+        # EVM execution is the state-transition function of the chain
+        # itself; moving it off-chain breaks consensus: '-'.
+        execution_separable = False
+        return self._result(
+            Mechanism.OFF_CHAIN_EXECUTION_ENGINE,
+            SupportLevel.NATIVE if execution_separable else SupportLevel.REWRITE,
+            "EVM execution *is* the consensus state-transition function; "
+            "an external engine would fork every node's state",
+            exercised=False,
+        )
+
+    def _probe_trusted_execution_environment(self) -> ProbeResult:
+        return self._result(
+            Mechanism.TRUSTED_EXECUTION_ENVIRONMENT,
+            SupportLevel.REWRITE,
+            "no enclave path in the transaction pipeline; EVM execution "
+            "inside TEEs requires rewriting the client",
+            exercised=False,
+        )
+
+    def _probe_private_sequencing_service(self) -> ProbeResult:
+        self._probe_fixture()
+        member_operated = self.sequencer.is_member_operated(set(self.parties))
+        return self._result(
+            Mechanism.PRIVATE_SEQUENCING_SERVICE,
+            SupportLevel.NATIVE if member_operated else SupportLevel.REWRITE,
+            "consortium members run the consensus (Raft/IBFT) nodes "
+            "themselves; no third-party sequencer exists",
+        )

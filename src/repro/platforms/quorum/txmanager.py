@@ -1,0 +1,104 @@
+"""Quorum's private transaction manager (Tessera/Constellation stand-in).
+
+Section 5: "Private state and smart contracts are updated through private
+transactions that are distributed to all nodes in the network.  However
+only a hash of the submitted data is included in the transaction itself.
+The parties involved in the transaction receive encrypted data, which
+means decryption is required before a party can update their private
+state."
+
+Each node runs a manager holding encrypted payloads keyed by hash.  The
+sender's manager encrypts the payload once per recipient (pairwise keys
+derived from PKI) and pushes the ciphertexts; everyone else only ever sees
+the hash.  Because private *state* is reconstructed by replaying these
+payloads, deleting one breaks the node — the executable reason Quorum's
+Table 1 off-chain-data cell is '—'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import OffChainError, PrivacyError
+from repro.common.rng import DeterministicRNG
+from repro.common.serialization import canonical_bytes, from_canonical_json
+from repro.crypto.hashing import hash_hex, hkdf
+from repro.crypto.symmetric import Ciphertext, SymmetricKey
+
+
+def _pair_key(a: str, b: str) -> SymmetricKey:
+    """Deterministic pairwise key (stand-in for the ECDH-derived key)."""
+    first, second = sorted((a, b))
+    return SymmetricKey(hkdf(f"{first}|{second}".encode(), "repro/quorum/pair"))
+
+
+@dataclass
+class StoredPayload:
+    """One encrypted private payload held by a node's manager."""
+
+    payload_hash: str
+    ciphertext: Ciphertext
+    sender: str
+    participants: tuple[str, ...]
+
+
+class PrivateTransactionManager:
+    """Per-node encrypted payload store and distribution endpoint."""
+
+    def __init__(self, owner: str, rng: DeterministicRNG | None = None) -> None:
+        self.owner = owner
+        self._rng = rng or DeterministicRNG("txmanager:" + owner)
+        self._payloads: dict[str, StoredPayload] = {}
+
+    def distribute(
+        self,
+        payload: dict,
+        participants: list[str],
+        managers: dict[str, "PrivateTransactionManager"],
+    ) -> str:
+        """Encrypt *payload* for each participant and push it to them.
+
+        Returns the payload hash that goes into the public transaction.
+        """
+        payload_hash = hash_hex("repro/quorum/payload", payload)
+        raw = canonical_bytes(payload)
+        for participant in participants:
+            manager = managers.get(participant)
+            if manager is None:
+                raise PrivacyError(f"no transaction manager for {participant!r}")
+            key = _pair_key(self.owner, participant)
+            ciphertext = key.encrypt(raw, self._rng)
+            manager.receive(
+                StoredPayload(
+                    payload_hash=payload_hash,
+                    ciphertext=ciphertext,
+                    sender=self.owner,
+                    participants=tuple(participants),
+                )
+            )
+        return payload_hash
+
+    def receive(self, stored: StoredPayload) -> None:
+        self._payloads[stored.payload_hash] = stored
+
+    def has_payload(self, payload_hash: str) -> bool:
+        return payload_hash in self._payloads
+
+    def resolve(self, payload_hash: str) -> dict:
+        """Decrypt a payload this node was party to."""
+        stored = self._payloads.get(payload_hash)
+        if stored is None:
+            raise PrivacyError(
+                f"{self.owner!r} was not a party to payload {payload_hash!r}"
+            )
+        key = _pair_key(stored.sender, self.owner)
+        return from_canonical_json(key.decrypt(stored.ciphertext).decode("utf-8"))
+
+    def delete(self, payload_hash: str) -> None:
+        """Remove a payload — and break replayability (see module doc)."""
+        if payload_hash not in self._payloads:
+            raise OffChainError(f"no payload {payload_hash!r} to delete")
+        del self._payloads[payload_hash]
+
+    def payload_hashes(self) -> list[str]:
+        return sorted(self._payloads)

@@ -1,0 +1,163 @@
+"""KYC consortium: compose four mechanisms into one workflow.
+
+A consortium of banks shares the *fact* of customer due diligence without
+sharing customer files — a canonical enterprise-DLT use case combining:
+
+- **Off-chain peer data** (Section 2.2): the onboarding bank keeps the
+  customer's PII in a private data collection; only hash anchors reach
+  the consortium channel.
+- **ZKP of identity / anonymous credentials** (Section 2.1): the
+  customer proves "KYC-verified by a consortium issuer" to any other
+  bank with an unlinkable presentation — the relying bank learns the
+  attribute, not the identity or the onboarding bank's file.
+- **Revocation**: when diligence lapses, the issuer stops minting
+  presentations; the workflow surfaces the residual (already-issued
+  tokens stay valid until expiry — the paper-faithful trade-off).
+- **Public anchors** (Section 2.2): the consortium periodically anchors
+  its channel transactions to a shared content-free ledger so a
+  regulator can verify that attestations existed at a point in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import MembershipError
+from repro.crypto.anoncred import (
+    CredentialHolder,
+    CredentialIssuer,
+    Presentation,
+    verify_presentation,
+)
+from repro.execution.contracts import SmartContract
+from repro.ledger.anchors import AnchorLedger, ChannelAnchorer, ExistenceProof
+from repro.platforms.fabric import FabricNetwork
+
+
+@dataclass
+class OnboardingRecord:
+    """What the onboarding bank holds (off-chain) and publishes (hash)."""
+
+    customer_id: str
+    onboarding_bank: str
+    pii_anchor: str
+    tx_id: str
+
+
+@dataclass
+class KycConsortium:
+    """The consortium workflow over a Fabric channel."""
+
+    banks: tuple[str, ...]
+    network: FabricNetwork = field(default_factory=lambda: FabricNetwork(seed="kyc"))
+    channel_name: str = "kyc-channel"
+    contract_id: str = "kyc-contract"
+    _initialized: bool = False
+
+    def setup(self) -> None:
+        if len(self.banks) < 2:
+            raise MembershipError("a consortium needs at least two banks")
+        for bank in self.banks:
+            self.network.onboard(bank)
+        channel = self.network.create_channel(self.channel_name, list(self.banks))
+        channel.create_collection("kyc-files", list(self.banks))
+
+        def attest(view, args):
+            view.put(f"kyc/{args['customer']}", {
+                "onboarded_by": args["bank"], "status": "verified",
+            })
+            return "verified"
+
+        self.network.deploy_chaincode(
+            self.channel_name,
+            SmartContract(self.contract_id, 1, "python-chaincode",
+                          {"attest": attest}),
+            list(self.banks),
+        )
+        self.issuer = CredentialIssuer(
+            "kyc-issuer", scheme=self.network.scheme,
+            rng=self.network.rng.fork("kyc-issuer"),
+        )
+        self.public_anchors = AnchorLedger()
+        self.anchorer = ChannelAnchorer(self.channel_name, self.public_anchors)
+        self._holders: dict[str, CredentialHolder] = {}
+        self._initialized = True
+
+    def _require_setup(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("call setup() first")
+
+    # -- onboarding at one bank
+
+    def onboard_customer(
+        self, bank: str, customer_id: str, pii: dict
+    ) -> OnboardingRecord:
+        """Full diligence at *bank*: PII off-chain, attestation on-chain,
+        credential enrolment at the consortium issuer."""
+        self._require_setup()
+        result = self.network.invoke(
+            self.channel_name, bank, self.contract_id, "attest",
+            {"customer": customer_id, "bank": bank},
+            collection_writes={"kyc-files": {f"file/{customer_id}": pii}},
+        )
+        self.issuer.enroll(customer_id, {"kyc": "verified"})
+        self._holders[customer_id] = CredentialHolder(
+            customer_id, self.issuer,
+            rng=self.network.rng.fork("holder:" + customer_id),
+        )
+        return OnboardingRecord(
+            customer_id=customer_id,
+            onboarding_bank=bank,
+            pii_anchor=result.tx.private_hashes[f"kyc-files/file/{customer_id}"],
+            tx_id=result.tx.tx_id,
+        )
+
+    # -- relying on the attestation elsewhere
+
+    def present_kyc(self, customer_id: str) -> Presentation:
+        """The customer obtains a fresh unlinkable 'kyc: verified' token."""
+        self._require_setup()
+        if customer_id not in self._holders:
+            raise MembershipError(f"{customer_id!r} was never onboarded")
+        return self._holders[customer_id].obtain_presentation({"kyc": "verified"})
+
+    def relying_bank_accepts(self, presentation: Presentation) -> bool:
+        """Any bank verifies the token against the issuer's public key —
+        learning only the disclosed attribute."""
+        self._require_setup()
+        return verify_presentation(self.issuer, presentation)
+
+    # -- lifecycle
+
+    def revoke_customer(self, customer_id: str) -> None:
+        """Diligence lapsed: no further presentations can be minted."""
+        self._require_setup()
+        self.issuer.revoke(customer_id)
+
+    def erase_customer_file(self, customer_id: str, reason: str = "gdpr") -> None:
+        """GDPR erasure of the off-chain file; attestations remain."""
+        self._require_setup()
+        collection = self.network.channel(self.channel_name).collection("kyc-files")
+        collection.purge(f"file/{customer_id}", reason=reason,
+                         now=self.network.clock.now)
+
+    # -- regulator view
+
+    def anchor_to_public_ledger(self):
+        """Publish the channel's transaction hashes (content-free)."""
+        self._require_setup()
+        transactions = self.network.channel(self.channel_name).chain.transactions()
+        return self.anchorer.anchor_transactions(
+            transactions, now=self.network.clock.now
+        )
+
+    def regulator_proof(self, record: OnboardingRecord) -> ExistenceProof:
+        """Evidence for a regulator that the attestation existed."""
+        self._require_setup()
+        channel_txs = self.network.channel(self.channel_name).chain.transactions()
+        tx = next(t for t in channel_txs if t.tx_id == record.tx_id)
+        return self.anchorer.prove_existence(tx)
+
+    def regulator_verifies(self, proof: ExistenceProof) -> bool:
+        """Anyone holding only the public ledger can check the proof."""
+        return self.public_anchors.verify_existence(proof)

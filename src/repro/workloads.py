@@ -1,0 +1,134 @@
+"""Synthetic workload generation.
+
+The paper (§3.4): "custom scalability tests may need to be designed to
+fit the particular use case".  This module provides the parameterized
+workloads the benchmark harness drives: key-value update streams with
+uniform or Zipfian key popularity (hot keys produce MVCC conflicts),
+multi-party trade scenarios, and letter-of-credit application mixes.
+All draws come from a :class:`DeterministicRNG`, so a workload is fully
+described by (generator, parameters, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class KVOperation:
+    """One key-value update by one submitter."""
+
+    submitter: str
+    key: str
+    value: int
+
+
+@dataclass(frozen=True)
+class TradeScenario:
+    """One bilateral trade among a wider network."""
+
+    buyer: str
+    seller: str
+    instrument: str
+    notional: int
+    confidential: bool
+
+
+class ZipfianKeys:
+    """Zipf-distributed key popularity (rank-frequency ~ 1/rank^s).
+
+    ``skew=0`` degenerates to uniform; higher skew concentrates traffic
+    on few keys, which is what produces read-write contention.
+    """
+
+    def __init__(self, key_count: int, skew: float = 1.0) -> None:
+        if key_count < 1:
+            raise ValueError("need at least one key")
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.key_count = key_count
+        self.skew = skew
+        weights = [1.0 / ((rank + 1) ** skew) for rank in range(key_count)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: list[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+
+    def draw(self, rng: DeterministicRNG) -> str:
+        point = rng.uniform(0.0, 1.0)
+        for rank, bound in enumerate(self._cdf):
+            if point <= bound:
+                return f"key-{rank:04d}"
+        return f"key-{self.key_count - 1:04d}"
+
+
+def kv_update_stream(
+    submitters: list[str],
+    operations: int,
+    key_count: int = 64,
+    skew: float = 0.0,
+    seed: str = "kv-workload",
+) -> Iterator[KVOperation]:
+    """A stream of key-value updates with configurable contention."""
+    if not submitters:
+        raise ValueError("need at least one submitter")
+    rng = DeterministicRNG(seed)
+    keys = ZipfianKeys(key_count, skew)
+    for __ in range(operations):
+        yield KVOperation(
+            submitter=rng.choice(submitters),
+            key=keys.draw(rng),
+            value=rng.randint_below(1_000_000),
+        )
+
+
+def trade_stream(
+    parties: list[str],
+    trades: int,
+    confidential_fraction: float = 0.5,
+    seed: str = "trade-workload",
+) -> Iterator[TradeScenario]:
+    """Bilateral trades among *parties*; a fraction are confidential."""
+    if len(parties) < 2:
+        raise ValueError("need at least two parties to trade")
+    if not (0.0 <= confidential_fraction <= 1.0):
+        raise ValueError("confidential_fraction must be in [0, 1]")
+    rng = DeterministicRNG(seed)
+    instruments = ["FX-SWAP", "IRS", "BOND-REPO", "CDS", "EQ-OPT"]
+    for __ in range(trades):
+        buyer = rng.choice(parties)
+        seller = rng.choice([p for p in parties if p != buyer])
+        yield TradeScenario(
+            buyer=buyer,
+            seller=seller,
+            instrument=rng.choice(instruments),
+            notional=(1 + rng.randint_below(100)) * 100_000,
+            confidential=rng.uniform(0.0, 1.0) < confidential_fraction,
+        )
+
+
+@dataclass
+class ContentionReport:
+    """How contended a KV workload actually was (for bench labels)."""
+
+    operations: int
+    distinct_keys: int
+    hottest_key_share: float
+
+
+def measure_contention(operations: list[KVOperation]) -> ContentionReport:
+    """Summarize a materialized workload's key-popularity profile."""
+    counts: dict[str, int] = {}
+    for op in operations:
+        counts[op.key] = counts.get(op.key, 0) + 1
+    hottest = max(counts.values()) if counts else 0
+    return ContentionReport(
+        operations=len(operations),
+        distinct_keys=len(counts),
+        hottest_key_share=hottest / len(operations) if operations else 0.0,
+    )

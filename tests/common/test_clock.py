@@ -1,0 +1,41 @@
+"""SimClock: monotonicity and bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=10.0).now == 10.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start=10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_repr_contains_time(self):
+        assert "3.5" in repr(SimClock(start=3.5))

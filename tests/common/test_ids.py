@@ -1,0 +1,37 @@
+"""Content identifiers: stability and abbreviation."""
+
+from __future__ import annotations
+
+from repro.common.ids import content_id, short
+
+
+class TestContentId:
+    def test_stable_for_equal_content(self):
+        assert content_id("tx", {"a": 1}) == content_id("tx", {"a": 1})
+
+    def test_differs_by_content(self):
+        assert content_id("tx", {"a": 1}) != content_id("tx", {"a": 2})
+
+    def test_differs_by_kind(self):
+        assert content_id("tx", {"a": 1}) != content_id("block", {"a": 1})
+
+    def test_kind_prefix(self):
+        assert content_id("tx", 1).startswith("tx:")
+
+    def test_length_parameter(self):
+        identifier = content_id("tx", 1, length=8)
+        assert len(identifier.split(":")[1]) == 8
+
+    def test_dict_order_irrelevant(self):
+        assert content_id("s", {"x": 1, "y": 2}) == content_id("s", {"y": 2, "x": 1})
+
+
+class TestShort:
+    def test_abbreviates_digest(self):
+        identifier = content_id("tx", {"a": 1})
+        abbreviated = short(identifier, length=4)
+        assert abbreviated.startswith("tx:")
+        assert len(abbreviated) == len("tx:") + 4
+
+    def test_plain_string(self):
+        assert short("abcdefghij", length=4) == "abcd"

@@ -1,0 +1,81 @@
+"""Canonical serialization: determinism, round trips, edge cases."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.serialization import (
+    canonical_bytes,
+    canonical_json,
+    from_canonical_json,
+)
+
+
+class TestCanonicalJson:
+    def test_sorted_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_no_whitespace(self):
+        text = canonical_json({"a": [1, 2, {"b": 3}]})
+        assert " " not in text
+
+    def test_dict_order_independent(self):
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json({"y": 2, "x": 1})
+
+    def test_bytes_are_tagged(self):
+        text = canonical_json({"k": b"\x01\x02"})
+        assert "0102" in text
+        assert "__bytes_hex__" in text
+
+    def test_bytes_round_trip(self):
+        original = {"payload": b"\x00\xffhello"}
+        assert from_canonical_json(canonical_json(original)) == original
+
+    def test_tuple_becomes_list(self):
+        assert canonical_json((1, 2)) == "[1,2]"
+
+    def test_set_is_sorted(self):
+        assert canonical_json({3, 1, 2}) == "[1,2,3]"
+
+    def test_dataclass_serializes_as_dict(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert canonical_json(Point(1, 2)) == '{"x":1,"y":2}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json(float("nan"))
+
+    def test_unserializable_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json(object())
+
+    def test_canonical_bytes_is_utf8(self):
+        assert canonical_bytes({"k": "v"}) == b'{"k":"v"}'
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(),
+            lambda children: st.lists(children)
+            | st.dictionaries(st.text(), children),
+            max_leaves=20,
+        )
+    )
+    def test_round_trip_property(self, value):
+        assert from_canonical_json(canonical_json(value)) == value
+
+    @given(st.dictionaries(st.text(), st.integers(), min_size=1))
+    def test_equal_values_equal_encodings(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert canonical_json(mapping) == canonical_json(reordered)
+
+    @given(st.binary(max_size=64))
+    def test_bytes_round_trip_property(self, blob):
+        assert from_canonical_json(canonical_json({"b": blob})) == {"b": blob}

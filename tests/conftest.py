@@ -1,0 +1,30 @@
+"""Shared fixtures: deterministic randomness, the fast test group, clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.rng import DeterministicRNG
+from repro.crypto.groups import cached_test_group
+from repro.crypto.signatures import SignatureScheme
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    return DeterministicRNG("test-suite")
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture(scope="session")
+def group():
+    return cached_test_group()
+
+
+@pytest.fixture(scope="session")
+def scheme(group) -> SignatureScheme:
+    return SignatureScheme(group)

@@ -1,0 +1,103 @@
+"""Leakage audit: the Section 5 claims, quantified and asserted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.audit import (
+    audit_all,
+    audit_corda,
+    audit_fabric,
+    audit_quorum,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {r.platform: r for r in audit_all(seed="test-audit")}
+
+
+class TestFabricClaims:
+    def test_uninvolved_orgs_learn_nothing(self, reports):
+        report = reports["fabric"]
+        assert report.uninvolved_identity_leaks() == 0
+        assert report.uninvolved_data_leaks() == 0
+
+    def test_orderer_sees_parties_and_data(self, reports):
+        """'the ordering service has full visibility of channel members as
+        well as all transactions' (Section 5)."""
+        ordering = reports["fabric"].ordering_principal
+        assert ordering.learned_trading_identities == {"OrgA", "OrgB"}
+        assert ordering.learned_confidential_data
+
+    def test_validated_ledger_blocks_double_spend(self, reports):
+        assert reports["fabric"].validated_double_spend_rejected
+
+
+class TestCordaClaims:
+    def test_full_isolation_of_uninvolved(self, reports):
+        report = reports["corda"]
+        assert report.uninvolved_identity_leaks() == 0
+        assert report.uninvolved_data_leaks() == 0
+
+    def test_non_validating_notary_blind(self, reports):
+        """With tear-offs, the notary learns neither parties nor data."""
+        ordering = reports["corda"].ordering_principal
+        assert ordering.learned_trading_identities == set()
+        assert not ordering.learned_confidential_data
+
+    def test_notary_still_blocks_double_spend(self, reports):
+        assert reports["corda"].validated_double_spend_rejected
+
+
+class TestQuorumClaims:
+    def test_participant_list_broadcast(self, reports):
+        """'the public ledger includes private transactions, including the
+        list of participants' (Section 5)."""
+        report = reports["quorum"]
+        assert report.participant_list_broadcast
+        assert report.uninvolved_identity_leaks() == 6  # 2 ids x 3 outsiders
+
+    def test_private_payload_stays_confidential(self, reports):
+        assert reports["quorum"].uninvolved_data_leaks() == 0
+
+    def test_private_double_spend_succeeds(self, reports):
+        """'it does not prevent the double spending of assets' (Section 5)."""
+        assert reports["quorum"].private_double_spend_succeeded
+
+    def test_public_double_spend_rejected(self, reports):
+        assert reports["quorum"].validated_double_spend_rejected
+
+
+class TestCrossPlatformShape:
+    """The relative ordering the paper's narrative implies."""
+
+    def test_corda_ordering_principal_blindest(self, reports):
+        fabric_sees = len(reports["fabric"].ordering_principal.identities)
+        corda_sees = len(reports["corda"].ordering_principal.identities)
+        assert corda_sees < fabric_sees
+
+    def test_quorum_leaks_most_identities_to_uninvolved(self, reports):
+        leaks = {
+            p: reports[p].uninvolved_identity_leaks()
+            for p in ("fabric", "corda", "quorum")
+        }
+        assert leaks["quorum"] > leaks["fabric"] == leaks["corda"] == 0
+
+    def test_no_platform_leaks_confidential_data_to_uninvolved(self, reports):
+        for report in reports.values():
+            assert report.uninvolved_data_leaks() == 0
+
+    def test_summary_rows_complete(self, reports):
+        for report in reports.values():
+            row = report.summary_row()
+            assert set(row) == {
+                "platform",
+                "uninvolved_identity_leaks",
+                "uninvolved_data_leaks",
+                "orderer_sees_identities",
+                "orderer_sees_data",
+                "participant_list_broadcast",
+                "private_double_spend_succeeded",
+                "validated_double_spend_rejected",
+            }

@@ -1,0 +1,199 @@
+"""Figure 1 decision tree: every branch, exhaustive coverage, traces."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.decision import decide_data_confidentiality
+from repro.core.mechanisms import Mechanism
+from repro.core.requirements import DataClassRequirements, DeploymentContext
+
+
+def dc(**kwargs) -> DataClassRequirements:
+    return DataClassRequirements(name="test", **kwargs)
+
+
+class TestSpineBranches:
+    """Each paper-prose branch, asserted directly."""
+
+    def test_deletion_forces_off_chain(self):
+        rec = decide_data_confidentiality(dc(deletion_required=True))
+        assert rec.primary is Mechanism.OFF_CHAIN_PEER_DATA
+
+    def test_deletion_dominates_everything_else(self):
+        rec = decide_data_confidentiality(dc(
+            deletion_required=True,
+            encrypted_sharing_allowed=False,
+            uninvolved_validation_required=True,
+        ))
+        assert rec.primary is Mechanism.OFF_CHAIN_PEER_DATA
+
+    def test_private_inputs_with_shared_function_yield_mpc(self):
+        rec = decide_data_confidentiality(dc(
+            private_from_counterparties=True,
+            shared_function_on_private_inputs=True,
+        ))
+        assert rec.primary is Mechanism.MULTIPARTY_COMPUTATION
+
+    def test_private_inputs_without_shared_function_yield_zkp(self):
+        rec = decide_data_confidentiality(dc(private_from_counterparties=True))
+        assert rec.primary is Mechanism.ZKP_ON_DATA
+        assert any("boolean affirmation" in n for n in rec.notes)
+
+    def test_no_encrypted_sharing_with_onchain_yields_segregation(self):
+        rec = decide_data_confidentiality(dc(
+            encrypted_sharing_allowed=False, onchain_record_desired=True
+        ))
+        assert rec.primary is Mechanism.SEPARATION_OF_LEDGERS_DATA
+
+    def test_tear_offs_supplement_segregation(self):
+        rec = decide_data_confidentiality(dc(
+            encrypted_sharing_allowed=False,
+            onchain_record_desired=True,
+            partial_visibility_within_transaction=True,
+        ))
+        assert Mechanism.MERKLE_TEAR_OFFS in rec.supplementary
+
+    def test_no_tear_offs_without_partial_visibility(self):
+        rec = decide_data_confidentiality(dc(
+            encrypted_sharing_allowed=False, onchain_record_desired=True
+        ))
+        assert Mechanism.MERKLE_TEAR_OFFS not in rec.supplementary
+
+    def test_no_encrypted_sharing_no_onchain_yields_off_chain(self):
+        rec = decide_data_confidentiality(dc(
+            encrypted_sharing_allowed=False, onchain_record_desired=False
+        ))
+        assert rec.primary is Mechanism.OFF_CHAIN_PEER_DATA
+
+    def test_uninvolved_validation_yields_tee(self):
+        rec = decide_data_confidentiality(dc(uninvolved_validation_required=True))
+        assert rec.primary is Mechanism.TRUSTED_EXECUTION_ENVIRONMENT
+        assert any("Homomorphic" in n for n in rec.notes)
+
+    def test_default_is_segregated_ledgers(self):
+        rec = decide_data_confidentiality(dc())
+        assert rec.primary is Mechanism.SEPARATION_OF_LEDGERS_DATA
+
+
+class TestDeploymentModifier:
+    def test_untrusted_admin_adds_encryption(self):
+        deployment = DeploymentContext(third_party_node_admin=True)
+        rec = decide_data_confidentiality(dc(), deployment)
+        assert Mechanism.SYMMETRIC_ENCRYPTION in rec.supplementary
+
+    def test_untrusted_orderer_adds_encryption(self):
+        deployment = DeploymentContext(ordering_service_trusted=False)
+        rec = decide_data_confidentiality(dc(), deployment)
+        assert Mechanism.SYMMETRIC_ENCRYPTION in rec.supplementary
+
+    def test_trusted_deployment_adds_nothing(self):
+        rec = decide_data_confidentiality(dc(), DeploymentContext())
+        assert Mechanism.SYMMETRIC_ENCRYPTION not in rec.supplementary
+
+    def test_encryption_also_added_on_off_chain_path(self):
+        deployment = DeploymentContext(third_party_node_admin=True)
+        rec = decide_data_confidentiality(dc(deletion_required=True), deployment)
+        assert rec.primary is Mechanism.OFF_CHAIN_PEER_DATA
+        assert Mechanism.SYMMETRIC_ENCRYPTION in rec.supplementary
+
+
+class TestTraces:
+    def test_every_recommendation_has_a_path(self):
+        rec = decide_data_confidentiality(dc())
+        assert len(rec.path) >= 2
+        for step in rec.path:
+            assert step.question
+            assert step.rationale
+
+    def test_rationales_cite_the_paper(self):
+        rec = decide_data_confidentiality(dc(deletion_required=True))
+        assert any("(S3.2)" in step.rationale for step in rec.path)
+
+    def test_describe_renders_path_and_outcome(self):
+        rec = decide_data_confidentiality(dc(private_from_counterparties=True))
+        text = rec.describe()
+        assert "Zero-knowledge proofs" in text
+        assert "[yes]" in text and "[no ]" in text
+
+
+class TestExhaustiveEnumeration:
+    """Every consistent combination terminates in exactly one mechanism."""
+
+    FLAGS = (
+        "deletion_required",
+        "private_from_counterparties",
+        "shared_function_on_private_inputs",
+        "encrypted_sharing_allowed",
+        "onchain_record_desired",
+        "partial_visibility_within_transaction",
+        "uninvolved_validation_required",
+    )
+
+    def _all_consistent_inputs(self):
+        for values in itertools.product([False, True], repeat=len(self.FLAGS)):
+            kwargs = dict(zip(self.FLAGS, values))
+            if (
+                kwargs["shared_function_on_private_inputs"]
+                and not kwargs["private_from_counterparties"]
+            ):
+                continue
+            yield kwargs
+
+    def test_total_function_over_input_space(self):
+        count = 0
+        for kwargs in self._all_consistent_inputs():
+            rec = decide_data_confidentiality(dc(**kwargs))
+            assert rec.primary in Mechanism
+            assert rec.path
+            count += 1
+        assert count == 96  # 128 combinations minus 32 inconsistent ones
+
+    def test_terminal_set_matches_figure_1(self):
+        terminals = {
+            decide_data_confidentiality(dc(**kwargs)).primary
+            for kwargs in self._all_consistent_inputs()
+        }
+        assert terminals == {
+            Mechanism.OFF_CHAIN_PEER_DATA,
+            Mechanism.MULTIPARTY_COMPUTATION,
+            Mechanism.ZKP_ON_DATA,
+            Mechanism.SEPARATION_OF_LEDGERS_DATA,
+            Mechanism.TRUSTED_EXECUTION_ENVIRONMENT,
+        }
+
+    def test_deterministic(self):
+        for kwargs in self._all_consistent_inputs():
+            a = decide_data_confidentiality(dc(**kwargs))
+            b = decide_data_confidentiality(dc(**kwargs))
+            assert a.primary is b.primary
+            assert a.supplementary == b.supplementary
+
+
+class TestRenderFigure:
+    def test_static_figure_names_all_terminals(self):
+        from repro.core.decision import render_figure
+
+        figure = render_figure()
+        for terminal in (
+            "OFF-CHAIN DATA",
+            "MULTIPARTY COMPUTATION",
+            "ZERO-KNOWLEDGE PROOFS",
+            "SEGREGATED LEDGERS",
+            "TRUSTED EXECUTION ENVIRONMENTS",
+            "MERKLE TREE TEAR-OFFS",
+        ):
+            assert terminal in figure
+
+    def test_static_figure_matches_engine_on_spine_order(self):
+        """The rendered question order equals the executable tree's."""
+        from repro.core.decision import render_figure
+
+        figure = render_figure()
+        deletion = figure.index("deletion required")
+        private = figure.index("private even from transacting")
+        encrypted = figure.index("encrypted data be shared")
+        uninvolved = figure.index("uninvolved parties must validate")
+        assert deletion < private < encrypted < uninvolved

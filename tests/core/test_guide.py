@@ -1,0 +1,168 @@
+"""The full design guide: interaction, logic, deployment, composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guide import (
+    design_interaction_privacy,
+    design_logic_confidentiality,
+    design_solution,
+)
+from repro.core.mechanisms import Mechanism
+from repro.core.requirements import (
+    DataClassRequirements,
+    DeploymentContext,
+    InteractionPrivacy,
+    LogicRequirements,
+    UseCaseRequirements,
+)
+
+
+class TestInteractionPrivacy:
+    """Section 3.1's three nested levels."""
+
+    def test_none_needs_nothing(self):
+        assert design_interaction_privacy(InteractionPrivacy.NONE) == []
+
+    def test_group_private_uses_separate_ledger(self):
+        mechanisms = design_interaction_privacy(InteractionPrivacy.GROUP_PRIVATE)
+        assert mechanisms == [Mechanism.SEPARATION_OF_LEDGERS_PARTIES]
+
+    def test_subgroup_adds_one_time_keys(self):
+        mechanisms = design_interaction_privacy(
+            InteractionPrivacy.SUBGROUP_UNLINKABLE
+        )
+        assert Mechanism.ONE_TIME_PUBLIC_KEYS in mechanisms
+        assert Mechanism.ZKP_OF_IDENTITY not in mechanisms
+
+    def test_individual_adds_zkp(self):
+        mechanisms = design_interaction_privacy(
+            InteractionPrivacy.INDIVIDUAL_ANONYMOUS
+        )
+        assert Mechanism.ZKP_OF_IDENTITY in mechanisms
+        assert Mechanism.ONE_TIME_PUBLIC_KEYS in mechanisms
+        assert Mechanism.SEPARATION_OF_LEDGERS_PARTIES in mechanisms
+
+
+class TestLogicConfidentiality:
+    """Section 3.3's four criteria."""
+
+    def test_no_privacy_needed(self):
+        mechanism, notes = design_logic_confidentiality(LogicRequirements())
+        assert mechanism is None
+
+    def test_admin_hiding_requires_tee(self):
+        mechanism, notes = design_logic_confidentiality(
+            LogicRequirements(keep_logic_private=True, hide_from_node_admin=True)
+        )
+        assert mechanism is Mechanism.TRUSTED_EXECUTION_ENVIRONMENT
+        assert any("maturity" in n.lower() for n in notes)
+
+    def test_admin_hiding_without_logic_privacy_still_tee(self):
+        mechanism, __ = design_logic_confidentiality(
+            LogicRequirements(keep_logic_private=False, hide_from_node_admin=True)
+        )
+        assert mechanism is Mechanism.TRUSTED_EXECUTION_ENVIRONMENT
+
+    def test_language_freedom_requires_external_engine(self):
+        mechanism, notes = design_logic_confidentiality(
+            LogicRequirements(keep_logic_private=True, need_any_language=True)
+        )
+        assert mechanism is Mechanism.OFF_CHAIN_EXECUTION_ENGINE
+        assert any("version" in n.lower() for n in notes)
+
+    def test_default_is_scoped_installation(self):
+        mechanism, __ = design_logic_confidentiality(
+            LogicRequirements(keep_logic_private=True)
+        )
+        assert mechanism is Mechanism.INSTALL_ON_INVOLVED_NODES
+
+    def test_versioning_requirement_noted(self):
+        mechanism, notes = design_logic_confidentiality(
+            LogicRequirements(
+                keep_logic_private=True, need_inbuilt_versioning=True
+            )
+        )
+        assert mechanism is Mechanism.INSTALL_ON_INVOLVED_NODES
+        assert any("versioning requirement satisfied" in n for n in notes)
+
+    def test_tee_beats_language_freedom(self):
+        """Admin-hiding is the stronger constraint; TEE wins."""
+        mechanism, __ = design_logic_confidentiality(
+            LogicRequirements(
+                keep_logic_private=True,
+                hide_from_node_admin=True,
+                need_any_language=True,
+            )
+        )
+        assert mechanism is Mechanism.TRUSTED_EXECUTION_ENVIRONMENT
+
+
+class TestFullSolution:
+    def _requirements(self, **overrides) -> UseCaseRequirements:
+        base = dict(
+            name="test-case",
+            interaction_privacy=InteractionPrivacy.GROUP_PRIVATE,
+            data_classes=(
+                DataClassRequirements(name="pii", deletion_required=True),
+                DataClassRequirements(name="trade"),
+            ),
+            logic=LogicRequirements(keep_logic_private=True),
+            deployment=DeploymentContext(),
+        )
+        base.update(overrides)
+        return UseCaseRequirements(**base)
+
+    def test_per_data_class_recommendations(self):
+        design = design_solution(self._requirements())
+        assert design.recommendation_for("pii").primary is Mechanism.OFF_CHAIN_PEER_DATA
+        assert (
+            design.recommendation_for("trade").primary
+            is Mechanism.SEPARATION_OF_LEDGERS_DATA
+        )
+
+    def test_all_mechanisms_aggregated(self):
+        design = design_solution(self._requirements())
+        mechanisms = design.all_mechanisms()
+        assert Mechanism.SEPARATION_OF_LEDGERS_PARTIES in mechanisms
+        assert Mechanism.OFF_CHAIN_PEER_DATA in mechanisms
+        assert Mechanism.INSTALL_ON_INVOLVED_NODES in mechanisms
+
+    def test_unknown_data_class_raises(self):
+        design = design_solution(self._requirements())
+        with pytest.raises(KeyError):
+            design.recommendation_for("ghost")
+
+    def test_untrusted_orderer_advice(self):
+        design = design_solution(self._requirements(
+            deployment=DeploymentContext(ordering_service_trusted=False)
+        ))
+        assert any("private sequencing" in a.lower() for a in design.deployment_advice)
+
+    def test_trusted_orderer_advice_warns_visibility(self):
+        design = design_solution(self._requirements())
+        assert any("visibility" in a for a in design.deployment_advice)
+
+    def test_external_infrastructure_advice(self):
+        design = design_solution(self._requirements(
+            deployment=DeploymentContext(per_org_infrastructure=False)
+        ))
+        assert any("external infrastructure" in a for a in design.deployment_advice)
+
+    def test_describe_is_complete_report(self):
+        design = design_solution(self._requirements())
+        text = design.describe()
+        assert "Interaction privacy" in text
+        assert "pii" in text and "trade" in text
+        assert "Business logic" in text
+        assert "Deployment" in text
+
+    def test_describe_handles_empty_sections(self):
+        design = design_solution(UseCaseRequirements(
+            name="minimal",
+            data_classes=(DataClassRequirements(name="d"),),
+        ))
+        text = design.describe()
+        assert "no interaction-privacy mechanism required" in text
+        assert "logic confidentiality not required" in text

@@ -1,0 +1,82 @@
+"""Mechanism catalog: completeness and metadata coherence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mechanisms import (
+    Category,
+    Maturity,
+    Mechanism,
+    all_mechanisms,
+    by_category,
+    info,
+)
+
+
+class TestCatalogCompleteness:
+    def test_fifteen_table_rows(self):
+        assert len(all_mechanisms()) == 15
+
+    def test_category_sizes_match_table_1(self):
+        assert len(by_category(Category.PARTIES)) == 3
+        assert len(by_category(Category.TRANSACTIONS)) == 7
+        assert len(by_category(Category.LOGIC)) == 3
+        assert len(by_category(Category.MISC)) == 2
+
+    def test_every_mechanism_has_info(self):
+        for mechanism in Mechanism:
+            assert info(mechanism).mechanism is mechanism
+
+    def test_display_names_unique_within_category(self):
+        for category in Category:
+            names = [info(m).display_name for m in by_category(category)]
+            assert len(names) == len(set(names))
+
+
+class TestMaturityLevels:
+    """Section 2's maturity caveats, encoded."""
+
+    def test_homomorphic_is_proof_of_concept(self):
+        assert (
+            info(Mechanism.HOMOMORPHIC_ENCRYPTION).maturity
+            is Maturity.PROOF_OF_CONCEPT
+        )
+
+    def test_zkp_on_data_is_scenario_specific(self):
+        assert info(Mechanism.ZKP_ON_DATA).maturity is Maturity.SCENARIO_SPECIFIC
+
+    def test_tee_and_mpc_experimental(self):
+        assert info(Mechanism.TRUSTED_EXECUTION_ENVIRONMENT).maturity is Maturity.EXPERIMENTAL
+        assert info(Mechanism.MULTIPARTY_COMPUTATION).maturity is Maturity.EXPERIMENTAL
+
+    def test_core_mechanisms_production_ready(self):
+        for mechanism in (
+            Mechanism.SEPARATION_OF_LEDGERS_DATA,
+            Mechanism.OFF_CHAIN_PEER_DATA,
+            Mechanism.SYMMETRIC_ENCRYPTION,
+            Mechanism.MERKLE_TEAR_OFFS,
+        ):
+            assert info(mechanism).maturity is Maturity.PRODUCTION
+
+
+class TestDecisionProperties:
+    def test_only_off_chain_allows_deletion(self):
+        deleters = [
+            m for m in all_mechanisms() if info(m).allows_deletion
+        ]
+        assert deleters == [Mechanism.OFF_CHAIN_PEER_DATA]
+
+    def test_mpc_computes_shared_functions(self):
+        assert info(Mechanism.MULTIPARTY_COMPUTATION).computes_shared_function
+        assert not info(Mechanism.ZKP_ON_DATA).computes_shared_function
+
+    def test_tee_hides_from_admin(self):
+        assert info(Mechanism.TRUSTED_EXECUTION_ENVIRONMENT).hides_from_admin
+        assert not info(Mechanism.OFF_CHAIN_EXECUTION_ENGINE).hides_from_admin
+
+    def test_only_offchain_engine_allows_any_language(self):
+        flexible = [
+            m for m in by_category(Category.LOGIC) if info(m).any_language
+        ]
+        assert flexible == [Mechanism.OFF_CHAIN_EXECUTION_ENGINE]

@@ -1,0 +1,95 @@
+"""Markdown report generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guide import design_solution
+from repro.core.report import render_markdown
+from repro.core.requirements import (
+    DataClassRequirements,
+    DeploymentContext,
+    InteractionPrivacy,
+    LogicRequirements,
+    UseCaseRequirements,
+)
+
+
+@pytest.fixture
+def design():
+    return design_solution(UseCaseRequirements(
+        name="report-case",
+        interaction_privacy=InteractionPrivacy.SUBGROUP_UNLINKABLE,
+        data_classes=(
+            DataClassRequirements(name="pii", deletion_required=True),
+            DataClassRequirements(
+                name="votes",
+                private_from_counterparties=True,
+                shared_function_on_private_inputs=True,
+            ),
+        ),
+        logic=LogicRequirements(keep_logic_private=True, hide_from_node_admin=True),
+        deployment=DeploymentContext(ordering_service_trusted=False),
+    ))
+
+
+class TestRenderMarkdown:
+    def test_contains_all_sections(self, design):
+        report = render_markdown(design)
+        for heading in (
+            "# Privacy & confidentiality design: report-case",
+            "## 1. Privacy of interactions",
+            "## 2. Confidentiality of transactions and data",
+            "## 3. Confidentiality of business logic",
+            "## 4. Platform assessment",
+            "## 5. Deployment checklist",
+        ):
+            assert heading in report
+
+    def test_decision_tables_per_data_class(self, design):
+        report = render_markdown(design)
+        assert "### Data class `pii`" in report
+        assert "### Data class `votes`" in report
+        assert "| step | question | answer |" in report
+
+    def test_maturity_warnings_for_immature_mechanisms(self, design):
+        report = render_markdown(design)
+        # MPC (experimental) and TEE (experimental) must carry warnings.
+        assert report.count("⚠") >= 2
+        assert "experimental" in report
+
+    def test_platform_scores_table(self, design):
+        report = render_markdown(design)
+        assert "| platform | score |" in report
+        for platform in ("fabric", "corda", "quorum"):
+            assert f"| {platform} |" in report
+
+    def test_blocked_mechanisms_called_out(self, design):
+        report = render_markdown(design)
+        # TEE is blocked everywhere; at least one platform line says so.
+        assert "requires substantial rewriting" in report
+
+    def test_deployment_checklist_items(self, design):
+        report = render_markdown(design)
+        assert "- [ ]" in report
+        assert "private sequencing" in report.lower()
+
+    def test_no_logic_mechanism_case(self):
+        design = design_solution(UseCaseRequirements(
+            name="open-logic",
+            data_classes=(DataClassRequirements(name="d"),),
+        ))
+        report = render_markdown(design)
+        assert "shared with all participants" in report
+
+
+class TestThreatSection:
+    def test_threat_matrix_rendered(self, design):
+        report = render_markdown(design)
+        assert "## 6. Threat coverage" in report
+        assert "**EXPOSED**" in report
+        assert "ordering-operator" in report
+
+    def test_covered_cells_present(self, design):
+        report = render_markdown(design)
+        assert "covered" in report

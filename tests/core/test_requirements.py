@@ -1,0 +1,67 @@
+"""Requirements model: validation and consistency rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import RequirementsError
+from repro.core.requirements import (
+    DataClassRequirements,
+    DeploymentContext,
+    InteractionPrivacy,
+    LogicRequirements,
+    UseCaseRequirements,
+)
+
+
+class TestDataClassRequirements:
+    def test_defaults_are_permissive(self):
+        dc = DataClassRequirements(name="d")
+        assert not dc.deletion_required
+        assert dc.encrypted_sharing_allowed
+        assert dc.onchain_record_desired
+
+    def test_shared_function_implies_private_inputs(self):
+        with pytest.raises(RequirementsError, match="implies"):
+            DataClassRequirements(
+                name="d",
+                private_from_counterparties=False,
+                shared_function_on_private_inputs=True,
+            )
+
+    def test_consistent_shared_function_accepted(self):
+        DataClassRequirements(
+            name="d",
+            private_from_counterparties=True,
+            shared_function_on_private_inputs=True,
+        )
+
+
+class TestUseCaseRequirements:
+    def _dc(self, name="d"):
+        return DataClassRequirements(name=name)
+
+    def test_at_least_one_data_class(self):
+        with pytest.raises(RequirementsError, match="at least one"):
+            UseCaseRequirements(name="u", data_classes=())
+
+    def test_duplicate_data_class_names_rejected(self):
+        with pytest.raises(RequirementsError, match="duplicate"):
+            UseCaseRequirements(
+                name="u", data_classes=(self._dc("a"), self._dc("a"))
+            )
+
+    def test_data_class_lookup(self):
+        requirements = UseCaseRequirements(
+            name="u", data_classes=(self._dc("a"), self._dc("b"))
+        )
+        assert requirements.data_class("b").name == "b"
+        with pytest.raises(RequirementsError, match="no data class"):
+            requirements.data_class("z")
+
+    def test_defaults(self):
+        requirements = UseCaseRequirements(name="u", data_classes=(self._dc(),))
+        assert requirements.interaction_privacy is InteractionPrivacy.NONE
+        assert isinstance(requirements.logic, LogicRequirements)
+        assert isinstance(requirements.deployment, DeploymentContext)
+        assert requirements.deployment.ordering_service_trusted

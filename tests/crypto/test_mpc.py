@@ -1,0 +1,143 @@
+"""MPC: correctness, privacy structure, cheating detection, ballots."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MPCError
+from repro.common.rng import DeterministicRNG
+from repro.crypto.mpc import (
+    AdditiveSharingProtocol,
+    secret_ballot,
+    secure_mean,
+    secure_sum,
+)
+
+
+class TestSecureSum:
+    def test_two_parties(self):
+        total, __ = secure_sum({"a": 5, "b": 7})
+        assert total == 12
+
+    def test_many_parties(self):
+        inputs = {f"p{i}": i for i in range(10)}
+        total, __ = secure_sum(inputs)
+        assert total == sum(range(10))
+
+    def test_zero_inputs(self):
+        total, __ = secure_sum({"a": 0, "b": 0, "c": 0})
+        assert total == 0
+
+    def test_single_party_rejected(self):
+        with pytest.raises(MPCError, match="at least two"):
+            secure_sum({"a": 5})
+
+    def test_stats_accounting(self):
+        __, stats = secure_sum({"a": 1, "b": 2, "c": 3})
+        assert stats.rounds == 3
+        # share phase: n^2 messages; combine phase: n(n-1) broadcasts.
+        assert stats.messages == 9 + 6
+
+    def test_mean(self):
+        mean, __ = secure_mean({"a": 10, "b": 20, "c": 30})
+        assert mean == pytest.approx(20.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(
+        st.sampled_from([f"org{i}" for i in range(6)]),
+        st.integers(min_value=0, max_value=10**9),
+        min_size=2,
+    ))
+    def test_sum_property(self, inputs):
+        total, __ = secure_sum(inputs)
+        assert total == sum(inputs.values())
+
+
+class TestProtocolStructure:
+    def _protocol(self, inputs):
+        protocol = AdditiveSharingProtocol(sorted(inputs))
+        for party, value in inputs.items():
+            protocol.set_input(party, value)
+        return protocol
+
+    def test_shares_do_not_reveal_secret(self):
+        protocol = self._protocol({"a": 1000, "b": 2, "c": 3})
+        protocol.run_share_phase()
+        # Any single received share from 'a' differs from the secret with
+        # overwhelming probability; all must sum to the secret mod q.
+        state = protocol._parties["a"]
+        total = sum(state.outgoing_shares.values()) % protocol.group.q
+        assert total == 1000
+
+    def test_partial_sums_do_not_equal_any_secret(self):
+        protocol = self._protocol({"a": 10, "b": 20, "c": 30})
+        protocol.run_share_phase()
+        partials = protocol.run_combine_phase()
+        assert protocol.run_reconstruct_phase(partials) == 60
+
+    def test_missing_input_rejected(self):
+        protocol = AdditiveSharingProtocol(["a", "b"])
+        protocol.set_input("a", 1)
+        with pytest.raises(MPCError, match="missing inputs"):
+            protocol.run_share_phase()
+
+    def test_unknown_party_rejected(self):
+        protocol = AdditiveSharingProtocol(["a", "b"])
+        with pytest.raises(MPCError, match="unknown party"):
+            protocol.set_input("z", 1)
+
+    def test_input_outside_field_rejected(self):
+        protocol = AdditiveSharingProtocol(["a", "b"])
+        with pytest.raises(MPCError, match="outside"):
+            protocol.set_input("a", -1)
+        with pytest.raises(MPCError, match="outside"):
+            protocol.set_input("a", protocol.group.q)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MPCError, match="unique"):
+            AdditiveSharingProtocol(["a", "a"])
+
+
+class TestCheatingDetection:
+    def test_corrupted_share_aborts(self):
+        protocol = AdditiveSharingProtocol(["a", "b", "c"])
+        for party, value in {"a": 5, "b": 6, "c": 7}.items():
+            protocol.set_input(party, value)
+        protocol.run_share_phase()
+        protocol.corrupt_share("a", "b", delta=3)
+        partials = protocol.run_combine_phase()
+        with pytest.raises(MPCError, match="aborted"):
+            protocol.run_reconstruct_phase(partials)
+
+    def test_uncorrupted_run_completes(self):
+        protocol = AdditiveSharingProtocol(["a", "b", "c"])
+        for party, value in {"a": 5, "b": 6, "c": 7}.items():
+            protocol.set_input(party, value)
+        assert protocol.run() == 18
+
+
+class TestSecretBallot:
+    def test_unanimous_yes(self):
+        result, __ = secret_ballot({"a": True, "b": True, "c": True})
+        assert result == {"yes": 3, "no": 0, "passed": True}
+
+    def test_motion_fails(self):
+        result, __ = secret_ballot({"a": False, "b": False, "c": True})
+        assert result == {"yes": 1, "no": 2, "passed": False}
+
+    def test_tie_does_not_pass(self):
+        result, __ = secret_ballot({"a": True, "b": False})
+        assert result["passed"] is False
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(
+        st.sampled_from([f"v{i}" for i in range(7)]),
+        st.booleans(),
+        min_size=2,
+    ))
+    def test_tally_matches_votes(self, votes):
+        result, __ = secret_ballot(votes)
+        assert result["yes"] == sum(votes.values())
+        assert result["no"] == len(votes) - sum(votes.values())

@@ -1,0 +1,82 @@
+"""One-time public keys: unlinkability, linking certs, co-ownership proofs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CertificateError
+from repro.crypto.onetime import (
+    OneTimeKeyFactory,
+    prove_co_ownership,
+    resolve_owner,
+    verify_co_ownership,
+)
+from repro.crypto.pki import CertificateAuthority, make_identity
+
+
+@pytest.fixture
+def ca(scheme, clock):
+    return CertificateAuthority("OrgCA", scheme, clock)
+
+
+@pytest.fixture
+def factory(ca, scheme):
+    __, cert = make_identity("alice", ca, scheme)
+    return OneTimeKeyFactory(root_certificate=cert, ca=ca, scheme=scheme)
+
+
+class TestMinting:
+    def test_fresh_keys_distinct(self, factory):
+        keys = {factory.mint().public.y for __ in range(10)}
+        assert len(keys) == 10
+
+    def test_linking_certificate_names_root(self, factory, ca):
+        identity = factory.mint()
+        owner, root_y = resolve_owner(ca, identity.linking_certificate)
+        assert owner == "alice"
+        assert root_y == factory.root_certificate.public_key_y
+
+    def test_one_time_key_differs_from_root(self, factory):
+        identity = factory.mint()
+        assert identity.public.y != factory.root_certificate.public_key_y
+
+    def test_one_time_key_signs(self, factory, scheme):
+        identity = factory.mint()
+        sig = scheme.sign(identity.key, b"tx")
+        assert scheme.verify(identity.public, b"tx", sig)
+
+    def test_non_linking_cert_rejected(self, ca, scheme):
+        __, plain_cert = make_identity("bob", ca, scheme)
+        with pytest.raises(CertificateError, match="not a linking"):
+            resolve_owner(ca, plain_cert)
+
+    def test_revoked_linking_cert_rejected(self, factory, ca):
+        identity = factory.mint()
+        ca.revoke(identity.linking_certificate.serial)
+        with pytest.raises(CertificateError, match="revoked"):
+            resolve_owner(ca, identity.linking_certificate)
+
+
+class TestCoOwnership:
+    def test_same_owner_proof_verifies(self, factory, scheme, rng):
+        a, b = factory.mint(), factory.mint()
+        proof = prove_co_ownership(scheme, a.key, b.key, b"tx-9", rng)
+        assert verify_co_ownership(scheme, a.public, b.public, proof, b"tx-9")
+
+    def test_proof_bound_to_context(self, factory, scheme, rng):
+        a, b = factory.mint(), factory.mint()
+        proof = prove_co_ownership(scheme, a.key, b.key, b"tx-9", rng)
+        assert not verify_co_ownership(scheme, a.public, b.public, proof, b"tx-10")
+
+    def test_proof_bound_to_keys(self, factory, scheme, rng):
+        a, b, c = factory.mint(), factory.mint(), factory.mint()
+        proof = prove_co_ownership(scheme, a.key, b.key, b"tx", rng)
+        assert not verify_co_ownership(scheme, a.public, c.public, proof, b"tx")
+
+    def test_proof_does_not_reveal_root(self, factory, scheme, rng):
+        # The proof object carries only the ratio element and transcript —
+        # neither equals the root public key or either secret.
+        a, b = factory.mint(), factory.mint()
+        proof = prove_co_ownership(scheme, a.key, b.key, b"tx", rng)
+        assert proof.ratio != factory.root_certificate.public_key_y
+        assert proof.ratio not in (a.key.x, b.key.x)

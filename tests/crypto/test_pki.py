@@ -1,0 +1,157 @@
+"""PKI: issuance, verification, revocation, expiry, membership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import CertificateError
+from repro.crypto.pki import (
+    Certificate,
+    CertificateAuthority,
+    MembershipService,
+    make_identity,
+)
+
+
+@pytest.fixture
+def ca(scheme, clock):
+    return CertificateAuthority("TestCA", scheme, clock)
+
+
+@pytest.fixture
+def identity(ca, scheme):
+    return make_identity("alice", ca, scheme, attributes={"org": "BankA"})
+
+
+class TestIssuance:
+    def test_issue_and_verify(self, ca, identity):
+        __, cert = identity
+        ca.verify(cert)
+
+    def test_subject_and_issuer_recorded(self, ca, identity):
+        __, cert = identity
+        assert cert.subject == "alice"
+        assert cert.issuer == "TestCA"
+
+    def test_attributes_carried(self, ca, identity):
+        __, cert = identity
+        assert cert.attributes == {"org": "BankA"}
+
+    def test_serials_increment(self, ca, scheme):
+        __, c1 = make_identity("a", ca, scheme)
+        __, c2 = make_identity("b", ca, scheme)
+        assert c2.serial == c1.serial + 1
+
+    def test_public_key_embedded(self, ca, scheme):
+        key, cert = make_identity("a", ca, scheme)
+        assert cert.public_key.y == key.public.y
+
+
+class TestVerification:
+    def test_unsigned_rejected(self, ca, identity):
+        __, cert = identity
+        unsigned = Certificate(**{**cert.__dict__, "signature": None})
+        with pytest.raises(CertificateError, match="unsigned"):
+            ca.verify(unsigned)
+
+    def test_wrong_issuer_rejected(self, ca, identity):
+        __, cert = identity
+        forged = Certificate(**{**cert.__dict__, "issuer": "EvilCA"})
+        with pytest.raises(CertificateError, match="issued by"):
+            ca.verify(forged)
+
+    def test_tampered_subject_rejected(self, ca, identity):
+        __, cert = identity
+        forged = Certificate(**{**cert.__dict__, "subject": "mallory"})
+        with pytest.raises(CertificateError, match="signature invalid"):
+            ca.verify(forged)
+
+    def test_expired_rejected(self, ca, identity, clock):
+        __, cert = identity
+        clock.advance(ca.DEFAULT_VALIDITY + 1)
+        with pytest.raises(CertificateError, match="validity"):
+            ca.verify(cert)
+
+    def test_at_parameter(self, ca, identity):
+        __, cert = identity
+        ca.verify(cert, at=cert.not_after)
+        with pytest.raises(CertificateError):
+            ca.verify(cert, at=cert.not_after + 1)
+
+    def test_is_valid_boolean(self, ca, identity):
+        __, cert = identity
+        assert ca.is_valid(cert)
+        forged = Certificate(**{**cert.__dict__, "subject": "x"})
+        assert not ca.is_valid(forged)
+
+
+class TestRevocation:
+    def test_revoked_cert_rejected(self, ca, identity):
+        __, cert = identity
+        ca.revoke(cert.serial)
+        assert ca.is_revoked(cert.serial)
+        with pytest.raises(CertificateError, match="revoked"):
+            ca.verify(cert)
+
+    def test_revoking_unknown_serial_rejected(self, ca):
+        with pytest.raises(CertificateError, match="unknown serial"):
+            ca.revoke(9999)
+
+    def test_revocation_is_per_serial(self, ca, scheme):
+        __, c1 = make_identity("a", ca, scheme)
+        __, c2 = make_identity("b", ca, scheme)
+        ca.revoke(c1.serial)
+        ca.verify(c2)
+
+
+class TestLinkingCertificates:
+    def test_linking_certificate_attributes(self, ca, scheme, identity):
+        __, root_cert = identity
+        one_time = scheme.keygen_from_seed("one-time")
+        linking = ca.issue_linking_certificate(root_cert, one_time.public)
+        assert linking.attributes["linking"] is True
+        assert linking.attributes["root_serial"] == root_cert.serial
+        assert linking.attributes["root_key_y"] == root_cert.public_key_y
+        ca.verify(linking)
+
+
+class TestMembershipService:
+    def test_enroll_and_lookup(self, ca, identity):
+        __, cert = identity
+        service = MembershipService()
+        service.register_authority(ca)
+        service.enroll(cert)
+        assert service.certificate_of("alice") is cert
+        assert service.members() == ["alice"]
+
+    def test_enroll_unknown_issuer_rejected(self, identity):
+        __, cert = identity
+        service = MembershipService()
+        with pytest.raises(CertificateError, match="unknown issuer"):
+            service.enroll(cert)
+
+    def test_unenrolled_lookup_rejected(self, ca):
+        service = MembershipService()
+        service.register_authority(ca)
+        with pytest.raises(CertificateError, match="not an enrolled member"):
+            service.certificate_of("nobody")
+
+    def test_hidden_global_list(self, ca, identity):
+        __, cert = identity
+        service = MembershipService(expose_global_list=False)
+        service.register_authority(ca)
+        service.enroll(cert)
+        with pytest.raises(CertificateError, match="hides the global list"):
+            service.members()
+        # Direct lookup still works — only the list is hidden.
+        assert service.certificate_of("alice") is cert
+
+    def test_verify_member_signature(self, ca, scheme, identity):
+        key, cert = identity
+        service = MembershipService()
+        service.register_authority(ca)
+        service.enroll(cert)
+        sig = scheme.sign(key, b"msg")
+        assert service.verify_member_signature(scheme, "alice", b"msg", sig)
+        assert not service.verify_member_signature(scheme, "alice", b"other", sig)

@@ -1,0 +1,101 @@
+"""Schnorr signatures: correctness, tamper resistance, determinism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SignatureError
+from repro.crypto.signatures import Signature, SignatureScheme
+
+
+@pytest.fixture
+def keypair(scheme, rng):
+    return scheme.keygen(rng)
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        assert scheme.verify(keypair.public, b"message", sig)
+
+    def test_wrong_message_fails(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        assert not scheme.verify(keypair.public, b"other", sig)
+
+    def test_wrong_key_fails(self, scheme, keypair, rng):
+        other = scheme.keygen(rng)
+        sig = scheme.sign(keypair, b"message")
+        assert not scheme.verify(other.public, b"message", sig)
+
+    def test_tampered_challenge_fails(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        bad = Signature(challenge=(sig.challenge + 1) % scheme.group.q,
+                        response=sig.response)
+        assert not scheme.verify(keypair.public, b"message", bad)
+
+    def test_tampered_response_fails(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        bad = Signature(challenge=sig.challenge,
+                        response=(sig.response + 1) % scheme.group.q)
+        assert not scheme.verify(keypair.public, b"message", bad)
+
+    def test_out_of_range_signature_rejected(self, scheme, keypair):
+        bad = Signature(challenge=scheme.group.q, response=0)
+        assert not scheme.verify(keypair.public, b"m", bad)
+
+    def test_key_outside_subgroup_rejected(self, scheme, keypair):
+        from repro.crypto.signatures import PublicKey
+
+        sig = scheme.sign(keypair, b"m")
+        # p-1 has order 2, not q: never a valid public key.
+        assert not scheme.verify(PublicKey(y=scheme.group.p - 1), b"m", sig)
+
+    def test_require_valid_raises(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        scheme.require_valid(keypair.public, b"message", sig)
+        with pytest.raises(SignatureError):
+            scheme.require_valid(keypair.public, b"other", sig)
+
+    def test_empty_message(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"")
+        assert scheme.verify(keypair.public, b"", sig)
+
+
+class TestDeterminism:
+    def test_signing_is_deterministic(self, scheme, keypair):
+        assert scheme.sign(keypair, b"m") == scheme.sign(keypair, b"m")
+
+    def test_nonce_differs_per_message(self, scheme, keypair):
+        a = scheme.sign(keypair, b"m1")
+        b = scheme.sign(keypair, b"m2")
+        assert a != b
+
+    def test_keygen_from_seed_stable(self, scheme):
+        assert scheme.keygen_from_seed("alice").x == scheme.keygen_from_seed("alice").x
+
+    def test_keygen_from_seed_distinct(self, scheme):
+        assert scheme.keygen_from_seed("alice").x != scheme.keygen_from_seed("bob").x
+
+    def test_fingerprint_stable_and_short(self, scheme, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_sign_verify_round_trip(self, message):
+        scheme = SignatureScheme()
+        key = scheme.keygen_from_seed("prop")
+        assert scheme.verify(key.public, message, scheme.sign(key, message))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_cross_message_rejection(self, m1, m2):
+        if m1 == m2:
+            return
+        scheme = SignatureScheme()
+        key = scheme.keygen_from_seed("prop")
+        assert not scheme.verify(key.public, m2, scheme.sign(key, m1))

@@ -1,0 +1,148 @@
+"""Adversarial soundness: cheating provers against the ZKP layer.
+
+The correctness tests show honest proofs verify; these show *dishonest*
+ones do not.  Each test plays a concrete attack a malicious party could
+mount — forged bit proofs, mismatched aggregates, mixed transcripts —
+and asserts the verifier rejects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRNG
+from repro.crypto.commitments import Opening, PedersenScheme
+from repro.crypto.zkp import (
+    BitProof,
+    FundsProof,
+    RangeProof,
+    RangeProver,
+    prove_sufficient_funds,
+    verify_sufficient_funds,
+)
+
+
+@pytest.fixture
+def prover(group):
+    return RangeProver(group)
+
+
+@pytest.fixture
+def pedersen(prover):
+    return PedersenScheme(prover.group)
+
+
+@pytest.fixture
+def rng():
+    return DeterministicRNG("soundness")
+
+
+class TestRangeProofSoundness:
+    def test_bit_commitments_from_another_value_rejected(
+        self, prover, pedersen, rng
+    ):
+        """Graft a valid proof for value A onto a commitment to value B."""
+        __, opening_a = pedersen.commit(5, rng)
+        commitment_b, __ = pedersen.commit(200, rng)
+        proof_for_a = prover.prove_range(5, opening_a, 8, b"ctx", rng)
+        assert not prover.verify_range(commitment_b, proof_for_a, b"ctx")
+
+    def test_swapped_bit_proofs_rejected(self, prover, pedersen, rng):
+        """Reorder bit proofs between positions (changes the value)."""
+        commitment, opening = pedersen.commit(6, rng)  # 0b110
+        proof = prover.prove_range(6, opening, 4, b"ctx", rng)
+        shuffled = RangeProof(
+            bits=proof.bits,
+            bit_commitments=tuple(reversed(proof.bit_commitments)),
+            bit_proofs=tuple(reversed(proof.bit_proofs)),
+            aggregate_blinding=proof.aggregate_blinding,
+        )
+        assert not prover.verify_range(commitment, shuffled, b"ctx")
+
+    def test_truncated_proof_rejected(self, prover, pedersen, rng):
+        commitment, opening = pedersen.commit(6, rng)
+        proof = prover.prove_range(6, opening, 8, b"ctx", rng)
+        truncated = RangeProof(
+            bits=8,
+            bit_commitments=proof.bit_commitments[:4],
+            bit_proofs=proof.bit_proofs[:4],
+            aggregate_blinding=proof.aggregate_blinding,
+        )
+        assert not prover.verify_range(commitment, truncated, b"ctx")
+
+    def test_non_bit_commitment_rejected(self, prover, pedersen, rng):
+        """Replace one bit commitment with a commitment to 2: the OR-proof
+        over {0,1} cannot be completed, so any forgery fails."""
+        commitment, opening = pedersen.commit(1, rng)
+        proof = prover.prove_range(1, opening, 2, b"ctx", rng)
+        two_commitment, __ = pedersen.commit_with(2, 7)
+        forged = RangeProof(
+            bits=proof.bits,
+            bit_commitments=(two_commitment.element,) + proof.bit_commitments[1:],
+            bit_proofs=proof.bit_proofs,
+            aggregate_blinding=proof.aggregate_blinding,
+        )
+        assert not prover.verify_range(commitment, forged, b"ctx")
+
+    def test_bit_proof_challenge_split_must_sum(self, prover, pedersen, rng):
+        """Tamper with one branch's challenge: e0 + e1 != H(transcript)."""
+        commitment, opening = pedersen.commit(1, rng)
+        proof = prover.prove_range(1, opening, 2, b"ctx", rng)
+        original = proof.bit_proofs[0]
+        tampered_bit = BitProof(
+            commitment_zero=original.commitment_zero,
+            commitment_one=original.commitment_one,
+            challenge_zero=(original.challenge_zero + 1) % prover.group.q,
+            challenge_one=original.challenge_one,
+            response_zero=original.response_zero,
+            response_one=original.response_one,
+        )
+        forged = RangeProof(
+            bits=proof.bits,
+            bit_commitments=proof.bit_commitments,
+            bit_proofs=(tampered_bit,) + proof.bit_proofs[1:],
+            aggregate_blinding=proof.aggregate_blinding,
+        )
+        assert not prover.verify_range(commitment, forged, b"ctx")
+
+    def test_element_outside_group_rejected(self, prover, pedersen, rng):
+        commitment, opening = pedersen.commit(1, rng)
+        proof = prover.prove_range(1, opening, 2, b"ctx", rng)
+        forged = RangeProof(
+            bits=proof.bits,
+            bit_commitments=(prover.group.p - 1,) + proof.bit_commitments[1:],
+            bit_proofs=proof.bit_proofs,
+            aggregate_blinding=proof.aggregate_blinding,
+        )
+        assert not prover.verify_range(commitment, forged, b"ctx")
+
+
+class TestFundsProofSoundness:
+    def test_proof_for_lower_threshold_fails_higher_claim(
+        self, prover, pedersen, rng
+    ):
+        """A 'balance >= 100' proof must not pass as 'balance >= 900'."""
+        commitment, opening = pedersen.commit(500, rng)
+        weak = prove_sufficient_funds(prover, 500, opening, 100, 12, b"tx", rng)
+        inflated = FundsProof(threshold=900, range_proof=weak.range_proof)
+        assert not verify_sufficient_funds(prover, commitment, inflated, b"tx")
+
+    def test_replaying_proof_on_poorer_account_fails(
+        self, prover, pedersen, rng
+    ):
+        """A rich account's proof does not transfer to a poor account's
+        commitment."""
+        rich_commitment, rich_opening = pedersen.commit(10_000, rng)
+        poor_commitment, __ = pedersen.commit(10, rng)
+        proof = prove_sufficient_funds(
+            prover, 10_000, rich_opening, 5_000, 16, b"tx", rng
+        )
+        assert verify_sufficient_funds(prover, rich_commitment, proof, b"tx")
+        assert not verify_sufficient_funds(prover, poor_commitment, proof, b"tx")
+
+    def test_context_replay_across_transactions_fails(
+        self, prover, pedersen, rng
+    ):
+        commitment, opening = pedersen.commit(500, rng)
+        proof = prove_sufficient_funds(prover, 500, opening, 100, 12, b"tx-1", rng)
+        assert not verify_sufficient_funds(prover, commitment, proof, b"tx-2")

@@ -1,0 +1,152 @@
+"""Public anchor ledger: existence without content."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProofError, ValidationError
+from repro.ledger.anchors import AnchorLedger, ChannelAnchorer, ExistenceProof
+from repro.ledger.transaction import Transaction, WriteEntry
+
+
+def make_tx(n: int) -> Transaction:
+    return Transaction(
+        channel="private-ch", submitter=f"org{n % 3}",
+        writes=(WriteEntry(key=f"secret-{n}", value=n),),
+        timestamp=float(n),
+    )
+
+
+@pytest.fixture
+def ledger():
+    return AnchorLedger()
+
+
+@pytest.fixture
+def anchorer(ledger):
+    return ChannelAnchorer("private-ch", ledger)
+
+
+class TestPublishing:
+    def test_publish_returns_anchor(self, ledger):
+        anchor = ledger.publish("ch", ["h1", "h2"], now=1.0)
+        assert anchor.tx_count == 2
+        assert anchor.sequence == 0
+        assert len(ledger) == 1
+
+    def test_empty_batch_rejected(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.publish("ch", [], now=1.0)
+
+    def test_sequences_increment(self, ledger):
+        a = ledger.publish("ch1", ["h"], now=1.0)
+        b = ledger.publish("ch2", ["h"], now=2.0)
+        assert b.sequence == a.sequence + 1
+
+    def test_anchors_filtered_by_source(self, ledger):
+        ledger.publish("ch1", ["a"], now=1.0)
+        ledger.publish("ch2", ["b"], now=2.0)
+        ledger.publish("ch1", ["c"], now=3.0)
+        assert len(ledger.anchors_of("ch1")) == 2
+
+    def test_unknown_sequence_rejected(self, ledger):
+        with pytest.raises(ValidationError):
+            ledger.anchor(5)
+
+
+class TestContentFreedom:
+    def test_anchor_reveals_no_transaction_content(self, ledger, anchorer):
+        """The public record shows existence, never content (S2.2)."""
+        txs = [make_tx(n) for n in range(5)]
+        anchor = anchorer.anchor_transactions(txs, now=1.0)
+        # The public artifact is a root + count; no key, value, or party.
+        assert isinstance(anchor.root, bytes)
+        public_view = (anchor.source, anchor.root.hex(), anchor.tx_count)
+        for tx in txs:
+            assert tx.submitter not in str(public_view)
+            assert "secret" not in str(public_view)
+
+    def test_source_label_is_the_only_metadata(self, ledger, anchorer):
+        txs = [make_tx(0)]
+        anchor = anchorer.anchor_transactions(txs, now=1.0)
+        assert anchor.source == "private-ch"
+
+
+class TestExistenceProofs:
+    def test_prove_and_verify(self, ledger, anchorer):
+        txs = [make_tx(n) for n in range(8)]
+        anchorer.anchor_transactions(txs, now=1.0)
+        proof = anchorer.prove_existence(txs[3])
+        assert ledger.verify_existence(proof)
+
+    def test_proof_is_single_transaction_scoped(self, ledger, anchorer):
+        """Revealing one tx hash does not reveal sibling transactions."""
+        txs = [make_tx(n) for n in range(8)]
+        anchorer.anchor_transactions(txs, now=1.0)
+        proof = anchorer.prove_existence(txs[3])
+        siblings_exposed = sum(
+            1 for other in txs if other.content_hash() == proof.tx_hash
+        )
+        assert siblings_exposed == 1
+        # The path contains digests, not hashes of identifiable txs.
+        assert all(isinstance(d, bytes) for d in proof.inclusion.path)
+
+    def test_unanchored_transaction_unprovable(self, ledger, anchorer):
+        anchorer.anchor_transactions([make_tx(0)], now=1.0)
+        with pytest.raises(ProofError, match="never anchored"):
+            anchorer.prove_existence(make_tx(99))
+
+    def test_forged_proof_rejected(self, ledger, anchorer):
+        txs = [make_tx(n) for n in range(4)]
+        anchorer.anchor_transactions(txs, now=1.0)
+        honest = anchorer.prove_existence(txs[0])
+        forged = ExistenceProof(
+            anchor_sequence=honest.anchor_sequence,
+            tx_hash=make_tx(99).content_hash(),
+            inclusion=honest.inclusion,
+        )
+        assert not ledger.verify_existence(forged)
+
+    def test_incremental_anchoring(self, ledger, anchorer):
+        batch1 = [make_tx(n) for n in range(3)]
+        anchorer.anchor_transactions(batch1, now=1.0)
+        all_txs = batch1 + [make_tx(n) for n in range(3, 6)]
+        second = anchorer.anchor_transactions(all_txs, now=2.0)
+        assert second.tx_count == 3  # only the new ones
+        # Both old and new transactions are provable.
+        assert ledger.verify_existence(anchorer.prove_existence(all_txs[1]))
+        assert ledger.verify_existence(anchorer.prove_existence(all_txs[5]))
+
+    def test_nothing_new_returns_none(self, ledger, anchorer):
+        txs = [make_tx(0)]
+        anchorer.anchor_transactions(txs, now=1.0)
+        assert anchorer.anchor_transactions(txs, now=2.0) is None
+
+
+class TestFabricIntegration:
+    def test_channel_anchoring_end_to_end(self):
+        from repro.execution.contracts import SmartContract
+        from repro.platforms.fabric import FabricNetwork
+
+        net = FabricNetwork(seed="anchor-integration")
+        for org in ("Org1", "Org2"):
+            net.onboard(org)
+        net.create_channel("ch", ["Org1", "Org2"])
+
+        def put(view, args):
+            view.put(args["key"], args["value"])
+            return args["value"]
+
+        net.deploy_chaincode(
+            "ch", SmartContract("cc", 1, "python-chaincode", {"put": put}),
+            ["Org1", "Org2"],
+        )
+        result = net.invoke("ch", "Org1", "cc", "put",
+                            {"key": "k", "value": "confidential"})
+        public = AnchorLedger()
+        anchorer = ChannelAnchorer("ch", public)
+        channel_txs = net.channel("ch").chain.transactions()
+        anchorer.anchor_transactions(channel_txs, now=net.clock.now)
+        proof = anchorer.prove_existence(result.tx)
+        # A third party holding only the public ledger verifies existence.
+        assert public.verify_existence(proof)

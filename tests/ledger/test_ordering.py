@@ -1,0 +1,137 @@
+"""Ordering services: visibility, batching, the service-time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import OrderingError
+from repro.ledger.ordering import (
+    OrdererProfile,
+    OrdererVisibility,
+    OrderingService,
+    make_private_orderer,
+)
+from repro.ledger.transaction import Transaction, WriteEntry
+
+
+def make_tx(channel="ch", submitter="alice", key="k"):
+    return Transaction(
+        channel=channel, submitter=submitter,
+        writes=(WriteEntry(key=key, value=1),),
+        metadata={"participants": [submitter, "bob"]},
+    )
+
+
+@pytest.fixture
+def orderer(clock):
+    return OrderingService("ord", clock)
+
+
+class TestVisibility:
+    def test_full_visibility_sees_parties_and_data(self, orderer):
+        """Paper S3.4: the ordering service sees parties and details."""
+        orderer.submit(make_tx())
+        assert "alice" in orderer.observer.seen_identities
+        assert "bob" in orderer.observer.seen_identities
+        assert "k" in orderer.observer.seen_data_keys
+
+    def test_hash_only_sees_nothing(self, clock):
+        orderer = OrderingService(
+            "blind", clock, visibility=OrdererVisibility.HASH_ONLY
+        )
+        orderer.submit(make_tx())
+        assert orderer.observer.seen_identities == set()
+        assert orderer.observer.seen_data_keys == set()
+        assert orderer.observer.messages_observed == 1
+
+    def test_knowledge_accumulates_across_channels(self, orderer):
+        """The shared-orderer leak: one service, many channels."""
+        orderer.submit(make_tx(channel="ch1", submitter="org1", key="k1"))
+        orderer.submit(make_tx(channel="ch2", submitter="org2", key="k2"))
+        assert {"org1", "org2"} <= orderer.observer.seen_identities
+        assert {"k1", "k2"} <= orderer.observer.seen_data_keys
+
+
+class TestBatching:
+    def test_cut_batch_orders_pending(self, orderer):
+        orderer.submit(make_tx(key="a"))
+        orderer.submit(make_tx(key="b"))
+        batch = orderer.cut_batch("ch")
+        assert len(batch.transactions) == 2
+        assert orderer.pending_count("ch") == 0
+
+    def test_cut_empty_channel_rejected(self, orderer):
+        with pytest.raises(OrderingError):
+            orderer.cut_batch("ch")
+
+    def test_max_batch_size_respected(self, clock):
+        orderer = OrderingService(
+            "ord", clock, profile=OrdererProfile(max_batch_size=2)
+        )
+        for __ in range(5):
+            orderer.submit(make_tx())
+        batches = orderer.drain_channel("ch")
+        assert [len(b.transactions) for b in batches] == [2, 2, 1]
+
+    def test_channels_are_independent_queues(self, orderer):
+        orderer.submit(make_tx(channel="ch1"))
+        orderer.submit(make_tx(channel="ch2"))
+        assert orderer.pending_count("ch1") == 1
+        batch = orderer.cut_batch("ch1")
+        assert batch.channel == "ch1"
+        assert orderer.pending_count("ch2") == 1
+
+    def test_sequence_numbers_increase(self, orderer):
+        orderer.submit(make_tx(channel="ch1"))
+        orderer.submit(make_tx(channel="ch2"))
+        b1 = orderer.cut_batch("ch1")
+        b2 = orderer.cut_batch("ch2")
+        assert b2.sequence == b1.sequence + 1
+
+
+class TestServiceTimeModel:
+    def test_release_time_reflects_capacity(self, clock):
+        orderer = OrderingService(
+            "ord", clock, profile=OrdererProfile(capacity_tps=100)
+        )
+        for __ in range(10):
+            orderer.submit(make_tx())
+        batch = orderer.cut_batch("ch")
+        assert batch.released_at == pytest.approx(10 / 100)
+
+    def test_shared_bottleneck_across_channels(self, clock):
+        """A second channel's batch queues behind the first channel's work."""
+        orderer = OrderingService(
+            "ord", clock, profile=OrdererProfile(capacity_tps=100)
+        )
+        for __ in range(10):
+            orderer.submit(make_tx(channel="ch1"))
+        for __ in range(10):
+            orderer.submit(make_tx(channel="ch2"))
+        first = orderer.cut_batch("ch1")
+        second = orderer.cut_batch("ch2")
+        assert second.released_at == pytest.approx(first.released_at + 0.1)
+
+    def test_total_ordered_counter(self, orderer):
+        for __ in range(3):
+            orderer.submit(make_tx())
+        orderer.cut_batch("ch")
+        assert orderer.total_ordered == 3
+
+
+class TestOperators:
+    def test_third_party_not_member_operated(self, orderer):
+        assert not orderer.is_member_operated({"alice", "bob"})
+
+    def test_private_orderer_is_member_operated(self, clock):
+        """Table 1 Misc row: private sequencing service possible."""
+        orderer = make_private_orderer("alice", clock)
+        assert orderer.is_member_operated({"alice", "bob"})
+        assert orderer.operator == "alice"
+
+    def test_private_orderer_still_sees_everything(self, clock):
+        """Running it yourself contains the leak; it does not remove it."""
+        orderer = make_private_orderer("alice", clock)
+        orderer.submit(make_tx())
+        assert "bob" in orderer.observer.seen_identities

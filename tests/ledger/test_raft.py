@@ -1,0 +1,162 @@
+"""Raft ordering cluster: elections, replication, faults, visibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import OrderingError
+from repro.ledger.raft import RaftCluster, Role
+from repro.ledger.transaction import Transaction, WriteEntry
+
+
+def make_tx(n: int) -> Transaction:
+    return Transaction(
+        channel="ch", submitter=f"submitter{n}",
+        writes=(WriteEntry(key=f"k{n}", value=n),),
+        metadata={"participants": [f"submitter{n}", "counterparty"]},
+    )
+
+
+@pytest.fixture
+def cluster():
+    return RaftCluster(["org1", "org2", "org3"])
+
+
+class TestClusterSetup:
+    def test_even_size_rejected(self):
+        with pytest.raises(OrderingError, match="odd"):
+            RaftCluster(["a", "b"])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(OrderingError):
+            RaftCluster(["a"])
+
+    def test_majority(self, cluster):
+        assert cluster.majority() == 2
+        assert RaftCluster(list("abcde")).majority() == 3
+
+
+class TestElections:
+    def test_elect_produces_leader(self, cluster):
+        leader = cluster.elect()
+        assert cluster.node(leader).role is Role.LEADER
+
+    def test_explicit_candidate_wins(self, cluster):
+        leader = cluster.elect("raft-org2")
+        assert leader == "raft-org2"
+
+    def test_term_increases_per_election(self, cluster):
+        cluster.elect("raft-org1")
+        term1 = cluster.node("raft-org1").current_term
+        cluster.elect("raft-org2")
+        assert cluster.node("raft-org2").current_term > term1
+
+    def test_crashed_candidate_rejected(self, cluster):
+        cluster.crash("org1")
+        with pytest.raises(OrderingError, match="crashed"):
+            cluster.elect("raft-org1")
+
+    def test_no_quorum_no_election(self, cluster):
+        cluster.crash("org1")
+        cluster.crash("org2")
+        with pytest.raises(OrderingError, match="quorum"):
+            cluster.elect()
+
+    def test_candidate_with_stale_log_loses(self):
+        cluster = RaftCluster(["a", "b", "c"])
+        cluster.elect("raft-a")
+        cluster.submit(make_tx(1))
+        # Wipe c's log to make it stale, then have it campaign.
+        cluster.node("raft-c").log.clear()
+        with pytest.raises(OrderingError, match="majority"):
+            cluster.elect("raft-c")
+
+
+class TestReplication:
+    def test_submit_commits_on_majority(self, cluster):
+        cluster.elect("raft-org1")
+        index = cluster.submit(make_tx(1))
+        assert index == 0
+        assert len(cluster.committed_transactions()) == 1
+
+    def test_total_order_preserved(self, cluster):
+        cluster.elect("raft-org1")
+        for n in range(5):
+            cluster.submit(make_tx(n))
+        committed = cluster.committed_transactions()
+        assert [tx.submitter for tx in committed] == [
+            f"submitter{n}" for n in range(5)
+        ]
+
+    def test_logs_consistent_after_replication(self, cluster):
+        cluster.elect("raft-org1")
+        for n in range(3):
+            cluster.submit(make_tx(n))
+        assert cluster.logs_consistent()
+
+    def test_submit_auto_elects(self, cluster):
+        cluster.submit(make_tx(1))
+        assert cluster.leader is not None
+
+
+class TestFaults:
+    def test_survives_minority_crash(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        cluster.crash("org3")
+        cluster.submit(make_tx(2))
+        assert len(cluster.committed_transactions()) == 2
+        assert cluster.logs_consistent()
+
+    def test_leader_crash_triggers_reelection(self, cluster):
+        leader = cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        cluster.crash("org1")
+        assert cluster.leader is None
+        new_leader = cluster.elect()
+        assert new_leader != leader
+        cluster.submit(make_tx(2))
+        assert len(cluster.committed_transactions()) == 2
+
+    def test_majority_crash_blocks_writes(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.crash("org2")
+        cluster.crash("org3")
+        with pytest.raises(OrderingError):
+            cluster.submit(make_tx(1))
+
+    def test_recovered_node_catches_up(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        cluster.crash("org3")
+        cluster.submit(make_tx(2))
+        cluster.recover("org3")
+        cluster.submit(make_tx(3))
+        assert cluster.logs_consistent()
+        assert cluster.node("raft-org3").commit_index == 3
+
+    def test_committed_entries_survive_leader_change(self, cluster):
+        cluster.elect("raft-org1")
+        tx = make_tx(1)
+        cluster.submit(tx)
+        cluster.crash("org1")
+        cluster.elect()
+        committed = cluster.committed_transactions()
+        assert committed[0].tx_id == tx.tx_id
+
+
+class TestVisibility:
+    def test_every_replica_operator_sees_contents(self, cluster):
+        """Replicated ordering multiplies who sees the data (S3.4)."""
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        assert cluster.operators_with_visibility() == {"org1", "org2", "org3"}
+        for node in cluster.nodes.values():
+            assert "submitter1" in node.observer.seen_identities
+            assert "k1" in node.observer.seen_data_keys
+
+    def test_crashed_replica_misses_entries(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.crash("org3")
+        cluster.submit(make_tx(1))
+        assert "k1" not in cluster.node("raft-org3").observer.seen_data_keys

@@ -1,0 +1,118 @@
+"""World state: MVCC versions, history, deletion."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StateError
+from repro.ledger.state import WorldState
+
+
+@pytest.fixture
+def state():
+    return WorldState()
+
+
+class TestBasicOps:
+    def test_put_get(self, state):
+        state.put("k", 1)
+        assert state.get("k") == 1
+
+    def test_missing_key_raises(self, state):
+        with pytest.raises(StateError):
+            state.get("missing")
+
+    def test_get_or_default(self, state):
+        assert state.get_or("missing", "fallback") == "fallback"
+        state.put("k", None)
+        assert state.get_or("k", "fallback") is None
+
+    def test_exists(self, state):
+        assert not state.exists("k")
+        state.put("k", 1)
+        assert state.exists("k")
+
+    def test_keys_sorted(self, state):
+        state.put("b", 1)
+        state.put("a", 2)
+        assert state.keys() == ["a", "b"]
+
+    def test_items_iterates_sorted(self, state):
+        state.put("b", 1)
+        state.put("a", 2)
+        assert list(state.items()) == [("a", 2), ("b", 1)]
+
+    def test_len(self, state):
+        assert len(state) == 0
+        state.put("k", 1)
+        assert len(state) == 1
+
+    def test_snapshot_is_copy(self, state):
+        state.put("k", 1)
+        snap = state.snapshot()
+        snap["k"] = 99
+        assert state.get("k") == 1
+
+
+class TestVersions:
+    def test_unwritten_key_version_zero(self, state):
+        assert state.version("nothing") == 0
+
+    def test_versions_increment(self, state):
+        assert state.put("k", "v1") == 1
+        assert state.put("k", "v2") == 2
+        assert state.version("k") == 2
+
+    def test_independent_per_key(self, state):
+        state.put("a", 1)
+        state.put("a", 2)
+        state.put("b", 1)
+        assert state.version("a") == 2
+        assert state.version("b") == 1
+
+
+class TestHistory:
+    def test_history_excludes_current(self, state):
+        state.put("k", "v1")
+        state.put("k", "v2")
+        state.put("k", "v3")
+        assert state.history("k") == ["v1", "v2"]
+
+    def test_history_of_missing_key(self, state):
+        with pytest.raises(StateError):
+            state.history("missing")
+
+
+class TestDeletion:
+    def test_delete_removes_everything(self, state):
+        state.put("k", "v1")
+        state.put("k", "v2")
+        state.delete("k")
+        assert not state.exists("k")
+        with pytest.raises(StateError):
+            state.history("k")
+
+    def test_delete_missing_raises(self, state):
+        with pytest.raises(StateError):
+            state.delete("missing")
+
+    def test_rewrite_after_delete_restarts_versions(self, state):
+        state.put("k", "v1")
+        state.delete("k")
+        assert state.put("k", "v2") == 1
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from("abc"), st.integers()), max_size=30))
+    def test_version_equals_write_count(self, writes):
+        state = WorldState()
+        counts: dict[str, int] = {}
+        for key, value in writes:
+            state.put(key, value)
+            counts[key] = counts.get(key, 0) + 1
+        for key, count in counts.items():
+            assert state.version(key) == count
+            assert len(state.history(key)) == count - 1

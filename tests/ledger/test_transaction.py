@@ -1,0 +1,79 @@
+"""Transactions: identity, signing bytes, endorsement carrying."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ledger.transaction import (
+    Endorsement,
+    ReadEntry,
+    Transaction,
+    WriteEntry,
+)
+
+
+@pytest.fixture
+def tx():
+    return Transaction(
+        channel="ch1",
+        submitter="alice",
+        reads=(ReadEntry(key="k", version=1),),
+        writes=(WriteEntry(key="k", value=2),),
+        private_hashes={"pdc/k": "abc123"},
+        metadata={"participants": ["alice", "bob"]},
+        timestamp=1.5,
+    )
+
+
+class TestIdentity:
+    def test_tx_id_stable(self, tx):
+        assert tx.tx_id == tx.tx_id
+
+    def test_tx_id_changes_with_content(self, tx):
+        other = Transaction(channel="ch1", submitter="bob")
+        assert tx.tx_id != other.tx_id
+
+    def test_tx_id_prefix(self, tx):
+        assert tx.tx_id.startswith("tx:")
+
+    def test_endorsements_do_not_change_identity(self, tx, scheme):
+        key = scheme.keygen_from_seed("endorser")
+        sig = scheme.sign(key, tx.signing_bytes())
+        endorsed = tx.with_endorsements([Endorsement("e1", sig)])
+        assert endorsed.tx_id == tx.tx_id
+
+    def test_content_hash_differs_from_tx_id(self, tx):
+        assert tx.content_hash() != tx.tx_id
+
+
+class TestSigningBytes:
+    def test_deterministic(self, tx):
+        assert tx.signing_bytes() == tx.signing_bytes()
+
+    def test_covers_writes(self, tx):
+        other = Transaction(
+            **{**tx.__dict__, "writes": (WriteEntry(key="k", value=3),)}
+        )
+        assert tx.signing_bytes() != other.signing_bytes()
+
+    def test_covers_private_hashes(self, tx):
+        other = Transaction(**{**tx.__dict__, "private_hashes": {}})
+        assert tx.signing_bytes() != other.signing_bytes()
+
+    def test_covers_metadata(self, tx):
+        other = Transaction(**{**tx.__dict__, "metadata": {}})
+        assert tx.signing_bytes() != other.signing_bytes()
+
+
+class TestEndorsements:
+    def test_with_endorsements_copies(self, tx, scheme):
+        key = scheme.keygen_from_seed("endorser")
+        sig = scheme.sign(key, tx.signing_bytes())
+        endorsed = tx.with_endorsements([Endorsement("e1", sig)])
+        assert len(endorsed.endorsements) == 1
+        assert len(tx.endorsements) == 0
+
+    def test_write_entry_delete_flag(self):
+        entry = WriteEntry(key="k", is_delete=True)
+        assert entry.is_delete
+        assert entry.value is None

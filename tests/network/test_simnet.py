@@ -1,0 +1,181 @@
+"""Simulated network: delivery, observers, partitions, drops, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import DeliveryError
+from repro.common.rng import DeterministicRNG
+from repro.network.messages import Exposure
+from repro.network.simnet import LatencyModel, Observer, SimNetwork
+
+
+@pytest.fixture
+def net():
+    network = SimNetwork(rng=DeterministicRNG("net-test"))
+    for name in ("A", "B", "C"):
+        network.add_node(name)
+    return network
+
+
+class TestDelivery:
+    def test_point_to_point(self, net):
+        net.send("A", "B", "ping", {"x": 1})
+        net.run()
+        messages = net.node("B").drain()
+        assert len(messages) == 1
+        assert messages[0].payload == {"x": 1}
+
+    def test_broadcast_excludes_sender(self, net):
+        net.broadcast("A", "announce", "hello")
+        net.run()
+        assert len(net.node("B").inbox) == 1
+        assert len(net.node("C").inbox) == 1
+        assert len(net.node("A").inbox) == 0
+
+    def test_broadcast_to_explicit_recipients(self, net):
+        net.broadcast("A", "announce", "hello", recipients=["B"])
+        net.run()
+        assert len(net.node("B").inbox) == 1
+        assert len(net.node("C").inbox) == 0
+
+    def test_unknown_recipient_rejected(self, net):
+        with pytest.raises(DeliveryError, match="unknown recipient"):
+            net.send("A", "Z", "ping", {})
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(DeliveryError, match="already exists"):
+            net.add_node("A")
+
+    def test_delivery_order_respects_latency(self):
+        net = SimNetwork(
+            rng=DeterministicRNG("order"),
+            latency=LatencyModel(base=0.01, jitter=0.0),
+        )
+        net.add_node("A")
+        net.add_node("B")
+        net.send("A", "B", "first", 1)
+        net.clock.advance(1.0)
+        net.send("A", "B", "second", 2)
+        net.run()
+        kinds = [m.kind for m in net.node("B").inbox]
+        assert kinds == ["first", "second"]
+
+    def test_clock_advances_with_deliveries(self, net):
+        before = net.clock.now
+        net.send("A", "B", "ping", {})
+        net.run()
+        assert net.clock.now > before
+
+    def test_handlers_invoked(self, net):
+        received = []
+        net.node("B").on("ping", lambda m: received.append(m.payload))
+        net.send("A", "B", "ping", 42)
+        net.run()
+        assert received == [42]
+
+    def test_drain_by_kind(self, net):
+        net.send("A", "B", "x", 1)
+        net.send("A", "B", "y", 2)
+        net.run()
+        assert [m.payload for m in net.node("B").drain("x")] == [1]
+        assert [m.payload for m in net.node("B").drain()] == [2]
+
+
+class TestObservers:
+    def test_tap_sees_all_traffic(self, net):
+        tap = net.add_tap(Observer("wiretap"))
+        net.send("A", "B", "tx", {}, exposure=Exposure.of(identities={"A", "B"}))
+        net.send("B", "C", "tx", {}, exposure=Exposure.of(data_keys={"price"}))
+        net.run()
+        assert tap.seen_identities == {"A", "B"}
+        assert tap.seen_data_keys == {"price"}
+        assert tap.messages_observed == 2
+
+    def test_node_observer_sees_inbound_only(self, net):
+        net.send("A", "B", "tx", {}, exposure=Exposure.of(identities={"A"}))
+        net.run()
+        assert net.node("B").observer.seen_identities == {"A"}
+        assert net.node("C").observer.seen_identities == set()
+
+    def test_empty_exposure_reveals_nothing(self, net):
+        tap = net.add_tap(Observer("wiretap"))
+        net.send("A", "B", "tx", {"secret": 1})
+        net.run()
+        assert tap.seen_identities == set()
+        assert tap.seen_data_keys == set()
+
+    def test_knowledge_snapshot(self, net):
+        tap = net.add_tap(Observer("wiretap"))
+        net.send("A", "B", "tx", {}, exposure=Exposure.of(code_ids={"cc"}))
+        net.run()
+        snapshot = tap.knowledge()
+        assert snapshot["code_ids"] == ["cc"]
+        assert snapshot["messages_observed"] == 1
+
+    def test_exposure_merge(self):
+        a = Exposure.of(identities={"x"})
+        b = Exposure.of(data_keys={"k"})
+        merged = a.merge(b)
+        assert merged.identities == frozenset({"x"})
+        assert merged.data_keys == frozenset({"k"})
+        assert not merged.is_empty()
+        assert Exposure().is_empty()
+
+
+class TestFaults:
+    def test_partition_blocks_send(self, net):
+        net.partition("A", "B")
+        with pytest.raises(DeliveryError, match="partition"):
+            net.send("A", "B", "ping", {})
+
+    def test_partition_is_symmetric(self, net):
+        net.partition("A", "B")
+        with pytest.raises(DeliveryError):
+            net.send("B", "A", "ping", {})
+
+    def test_partition_leaves_other_links(self, net):
+        net.partition("A", "B")
+        net.send("A", "C", "ping", {})
+        net.run()
+        assert len(net.node("C").inbox) == 1
+
+    def test_heal_restores_link(self, net):
+        net.partition("A", "B")
+        net.heal("A", "B")
+        net.send("A", "B", "ping", {})
+        net.run()
+        assert len(net.node("B").inbox) == 1
+
+    def test_message_drops(self):
+        net = SimNetwork(rng=DeterministicRNG("drops"), drop_probability=1.0)
+        net.add_node("A")
+        net.add_node("B")
+        net.send("A", "B", "ping", {})
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert net.stats.messages_dropped == 1
+
+    def test_partial_drop_rate(self):
+        net = SimNetwork(rng=DeterministicRNG("drops2"), drop_probability=0.5)
+        net.add_node("A")
+        net.add_node("B")
+        for __ in range(200):
+            net.send("A", "B", "ping", {})
+        net.run()
+        delivered = len(net.node("B").inbox)
+        assert 50 < delivered < 150  # loose bounds around 100
+
+
+class TestStats:
+    def test_counters(self, net):
+        net.send("A", "B", "ping", {"data": "x"})
+        net.send("A", "C", "ping", {"data": "y"})
+        net.run()
+        assert net.stats.messages_sent == 2
+        assert net.stats.messages_delivered == 2
+        assert net.stats.bytes_transferred > 0
+
+    def test_step_returns_false_when_empty(self, net):
+        assert net.step() is False

@@ -1,0 +1,116 @@
+"""Off-chain stores: anchoring, access control, GDPR deletion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    AnchorMismatchError,
+    DataDeletedError,
+    OffChainError,
+)
+from repro.offchain.stores import Hosting, OffChainStore
+
+
+@pytest.fixture
+def store():
+    return OffChainStore("s", authorized={"alice", "bob"})
+
+
+class TestStorage:
+    def test_put_get(self, store):
+        store.put("k", {"v": 1})
+        assert store.get("k", caller="alice") == {"v": 1}
+
+    def test_missing_key(self, store):
+        with pytest.raises(OffChainError, match="no record"):
+            store.get("missing", caller="alice")
+
+    def test_keys_listing(self, store):
+        store.put("b", 1)
+        store.put("a", 2)
+        assert store.keys() == ["a", "b"]
+
+    def test_hosting_flavors(self):
+        assert OffChainStore("p", hosting=Hosting.PEER).hosting is Hosting.PEER
+        assert OffChainStore("e", hosting=Hosting.EXTERNAL).hosting is Hosting.EXTERNAL
+
+
+class TestAnchoring:
+    def test_anchor_stable_for_same_content(self, store):
+        a1 = store.put("k", {"v": 1})
+        a2 = store.put("k", {"v": 1})
+        assert a1 == a2
+
+    def test_anchor_changes_with_content(self, store):
+        a1 = store.put("k", {"v": 1})
+        a2 = store.put("k", {"v": 2})
+        assert a1 != a2
+
+    def test_verify_anchor(self, store):
+        anchor = store.put("k", {"v": 1})
+        assert store.verify_anchor("k", anchor, caller="alice")
+
+    def test_mismatched_anchor_detected(self, store):
+        anchor = store.put("k", {"v": 1})
+        store.put("k", {"v": 2})  # data changed after anchoring
+        with pytest.raises(AnchorMismatchError):
+            store.verify_anchor("k", anchor, caller="alice")
+
+
+class TestAccessControl:
+    def test_unauthorized_read_rejected(self, store):
+        store.put("k", 1)
+        with pytest.raises(OffChainError, match="not authorized"):
+            store.get("k", caller="mallory")
+
+    def test_denied_reads_are_logged(self, store):
+        store.put("k", 1)
+        with pytest.raises(OffChainError):
+            store.get("k", caller="mallory")
+        assert store.denied_reads == [("mallory", "s")]
+
+    def test_open_store_allows_anyone(self):
+        store = OffChainStore("open")
+        store.put("k", 1)
+        assert store.get("k", caller="anyone") == 1
+
+
+class TestDeletion:
+    def test_delete_leaves_tombstone(self, store):
+        anchor = store.put("k", {"pii": "x"})
+        tombstone = store.delete("k", reason="gdpr", now=5.0)
+        assert tombstone.anchor == anchor
+        assert tombstone.deleted_at == 5.0
+        assert store.is_deleted("k")
+
+    def test_deleted_read_raises(self, store):
+        store.put("k", 1)
+        store.delete("k", reason="gdpr")
+        with pytest.raises(DataDeletedError, match="gdpr"):
+            store.get("k", caller="alice")
+
+    def test_delete_missing_rejected(self, store):
+        with pytest.raises(OffChainError, match="to delete"):
+            store.delete("missing", reason="gdpr")
+
+    def test_tombstones_listed(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        store.delete("a", reason="gdpr")
+        assert [t.key for t in store.tombstones()] == ["a"]
+
+    def test_rewrite_clears_tombstone(self, store):
+        store.put("k", 1)
+        store.delete("k", reason="gdpr")
+        store.put("k", 2)
+        assert not store.is_deleted("k")
+        assert store.get("k", caller="alice") == 2
+
+    def test_anchor_survives_deletion(self, store):
+        """The paper's tension: the on-chain hash outlives the data."""
+        anchor = store.put("k", {"pii": "x"})
+        tombstone = store.delete("k", reason="gdpr")
+        assert tombstone.anchor == anchor  # record that data existed
+        with pytest.raises(DataDeletedError):
+            store.verify_anchor("k", anchor, caller="alice")

@@ -1,0 +1,113 @@
+"""Notary clusters: quorum receipts, crash tolerance, double-spend safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import DoubleSpendError, OrderingError
+from repro.platforms.corda import (
+    Command,
+    ComponentGroup,
+    ContractState,
+    NotaryCluster,
+)
+from repro.platforms.corda.states import StateRef
+from repro.platforms.corda.transactions import WireTransaction
+
+
+@pytest.fixture
+def cluster(scheme, clock):
+    return NotaryCluster("cluster", scheme, clock, replicas=3)
+
+
+def make_wire(inputs=(), tag=0) -> WireTransaction:
+    state = ContractState(
+        contract_id="asset", participants=("A", "B"), data={"tag": tag}
+    )
+    return WireTransaction(
+        inputs=tuple(inputs),
+        outputs=(state,),
+        commands=(Command(name="Move", signers=("A", "B")),),
+        attachments=(),
+        notary="cluster",
+        time_window=0.0,
+    )
+
+
+def filtered(wire):
+    return wire.filtered([ComponentGroup.INPUTS, ComponentGroup.NOTARY])
+
+
+class TestClusterSetup:
+    def test_even_size_rejected(self, scheme, clock):
+        with pytest.raises(OrderingError, match="odd"):
+            NotaryCluster("c", scheme, clock, replicas=4)
+
+    def test_majority(self, cluster, scheme, clock):
+        assert cluster.majority() == 2
+        assert NotaryCluster("c5", scheme, clock, replicas=5).majority() == 3
+
+
+class TestQuorumNotarisation:
+    def test_majority_receipt(self, cluster):
+        receipt = cluster.notarise_filtered(filtered(make_wire()))
+        assert receipt.signer_count >= cluster.majority()
+
+    def test_double_spend_rejected_cluster_wide(self, cluster):
+        genesis = make_wire(tag=1)
+        cluster.notarise_filtered(filtered(genesis))
+        ref = StateRef(tx_id=genesis.tx_id, index=0)
+        cluster.notarise_filtered(filtered(make_wire(inputs=[ref], tag=2)))
+        with pytest.raises(DoubleSpendError):
+            cluster.notarise_filtered(filtered(make_wire(inputs=[ref], tag=3)))
+
+    def test_survives_minority_crash(self, cluster):
+        cluster.crash(0)
+        receipt = cluster.notarise_filtered(filtered(make_wire(tag=4)))
+        assert receipt.signer_count >= cluster.majority()
+
+    def test_majority_crash_halts_service(self, cluster):
+        cluster.crash(0)
+        cluster.crash(1)
+        with pytest.raises(OrderingError, match="quorum"):
+            cluster.notarise_filtered(filtered(make_wire(tag=5)))
+
+    def test_recovery_restores_service(self, cluster):
+        cluster.crash(0)
+        cluster.crash(1)
+        cluster.recover(0)
+        receipt = cluster.notarise_filtered(filtered(make_wire(tag=6)))
+        assert receipt.signer_count >= 2
+
+    def test_receipts_from_distinct_replicas(self, cluster):
+        receipt = cluster.notarise_filtered(filtered(make_wire(tag=7)))
+        notaries = [r.notary for r in receipt.receipts]
+        assert len(set(notaries)) == len(notaries)
+
+
+class TestClusterVisibility:
+    def test_non_validating_cluster_learns_nothing(self, cluster):
+        cluster.notarise_filtered(filtered(make_wire(tag=8)))
+        knowledge = cluster.combined_knowledge()
+        assert knowledge["identities"] == []
+        assert knowledge["data_keys"] == []
+
+    def test_validating_cluster_multiplies_visibility(self, scheme, clock):
+        """Every replica of a validating cluster sees the payload — the
+        replication-visibility trade-off, same as the Raft orderer."""
+        cluster = NotaryCluster(
+            "vc", scheme, clock, replicas=3, validating=True
+        )
+        from repro.platforms.corda.transactions import SignedTransaction
+
+        wire = make_wire(tag=9)
+        stx = SignedTransaction(wire=wire)
+        key_a = scheme.keygen_from_seed("A")
+        key_b = scheme.keygen_from_seed("B")
+        stx.add_signature("A", scheme.sign(key_a, wire.signing_payload()))
+        stx.add_signature("B", scheme.sign(key_b, wire.signing_payload()))
+        cluster.notarise_full(stx)
+        knowledge = cluster.combined_knowledge()
+        assert "A" in knowledge["identities"]
+        assert "tag" in knowledge["data_keys"]

@@ -1,0 +1,106 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, requirements_from_json
+from repro.core.mechanisms import Mechanism
+from repro.core.requirements import InteractionPrivacy
+
+
+class TestFigure1Command:
+    def test_deletion_path(self, capsys):
+        assert main(["figure1", "--deletion-required"]) == 0
+        out = capsys.readouterr().out
+        assert "Off-chain peer data" in out
+
+    def test_mpc_path(self, capsys):
+        assert main([
+            "figure1", "--private-from-counterparties", "--shared-function",
+        ]) == 0
+        assert "Multiparty computation" in capsys.readouterr().out
+
+    def test_tearoff_path(self, capsys):
+        assert main([
+            "figure1", "--no-encrypted-sharing", "--partial-visibility",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Separation of ledgers" in out
+        assert "Merkle trees and tear-offs" in out
+
+    def test_untrusted_orderer_adds_encryption(self, capsys):
+        assert main(["figure1", "--untrusted-orderer"]) == 0
+        assert "Symmetric keys" in capsys.readouterr().out
+
+
+class TestDesignCommand:
+    def test_design_from_file(self, tmp_path, capsys):
+        spec = {
+            "name": "cli-case",
+            "interaction_privacy": "group-private",
+            "data_classes": [
+                {"name": "pii", "deletion_required": True},
+                {"name": "trade"},
+            ],
+            "logic": {"keep_logic_private": True},
+            "deployment": {"ordering_service_trusted": False},
+        }
+        path = tmp_path / "req.json"
+        path.write_text(json.dumps(spec))
+        assert main(["design", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Privacy & confidentiality design: cli-case" in out
+        assert "Off-chain peer data" in out
+
+    def test_requirements_from_json_round_trip(self):
+        requirements = requirements_from_json({
+            "name": "x",
+            "interaction_privacy": "individual-anonymous",
+            "data_classes": [{"name": "d", "uninvolved_validation_required": True}],
+        })
+        assert requirements.interaction_privacy is InteractionPrivacy.INDIVIDUAL_ANONYMOUS
+        assert requirements.data_class("d").uninvolved_validation_required
+
+
+class TestAuditCommand:
+    def test_audit_prints_all_platforms(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        for platform in ("fabric", "corda", "quorum"):
+            assert platform in out
+        assert "participant_list_broadcast" in out
+
+
+class TestTable1Command:
+    def test_table1_agrees_and_exits_zero(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement: 45/45" in out
+
+
+class TestParser:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestThreatsCommand:
+    def test_threats_matrix(self, tmp_path, capsys):
+        spec = {
+            "name": "threat-cli",
+            "interaction_privacy": "group-private",
+            "data_classes": [{"name": "d"}],
+        }
+        path = tmp_path / "req.json"
+        path.write_text(json.dumps(spec))
+        assert main(["threats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPOSED" in out and "covered" in out
+        assert "ordering-operator" in out

@@ -1,0 +1,35 @@
+"""Every example script must run cleanly — they are part of the API."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_expected_example_set():
+    names = {s.stem for s in EXAMPLE_SCRIPTS}
+    assert {
+        "quickstart",
+        "letter_of_credit",
+        "secret_ballot",
+        "oracle_tearoff",
+        "platform_selection",
+        "private_ordering",
+        "design_to_deployment",
+        "kyc_consortium",
+    } <= names

@@ -1,0 +1,102 @@
+"""Workload generators: determinism, distributions, validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRNG
+from repro.workloads import (
+    ZipfianKeys,
+    kv_update_stream,
+    measure_contention,
+    trade_stream,
+)
+
+
+class TestKVStream:
+    def test_deterministic_for_seed(self):
+        a = list(kv_update_stream(["s1", "s2"], 50, seed="x"))
+        b = list(kv_update_stream(["s1", "s2"], 50, seed="x"))
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = list(kv_update_stream(["s1"], 50, seed="x"))
+        b = list(kv_update_stream(["s1"], 50, seed="y"))
+        assert a != b
+
+    def test_length(self):
+        assert len(list(kv_update_stream(["s1"], 123))) == 123
+
+    def test_submitters_drawn_from_pool(self):
+        ops = list(kv_update_stream(["a", "b", "c"], 200))
+        assert {op.submitter for op in ops} == {"a", "b", "c"}
+
+    def test_no_submitters_rejected(self):
+        with pytest.raises(ValueError):
+            list(kv_update_stream([], 10))
+
+    def test_zipf_skew_concentrates_traffic(self):
+        uniform = measure_contention(
+            list(kv_update_stream(["s"], 2000, key_count=32, skew=0.0))
+        )
+        skewed = measure_contention(
+            list(kv_update_stream(["s"], 2000, key_count=32, skew=2.0))
+        )
+        assert skewed.hottest_key_share > 2 * uniform.hottest_key_share
+
+    def test_uniform_covers_keyspace(self):
+        report = measure_contention(
+            list(kv_update_stream(["s"], 2000, key_count=16, skew=0.0))
+        )
+        assert report.distinct_keys == 16
+
+
+class TestZipfianKeys:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(0)
+        with pytest.raises(ValueError):
+            ZipfianKeys(4, skew=-1.0)
+
+    def test_draw_in_range(self):
+        keys = ZipfianKeys(8, skew=1.0)
+        rng = DeterministicRNG("z")
+        for __ in range(100):
+            key = keys.draw(rng)
+            assert key.startswith("key-")
+            assert 0 <= int(key.split("-")[1]) < 8
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 64), st.floats(0.0, 3.0))
+    def test_cdf_terminates(self, key_count, skew):
+        keys = ZipfianKeys(key_count, skew)
+        rng = DeterministicRNG(f"{key_count}-{skew}")
+        assert keys.draw(rng)
+
+
+class TestTradeStream:
+    def test_buyer_never_seller(self):
+        for trade in trade_stream(["a", "b", "c"], 200):
+            assert trade.buyer != trade.seller
+
+    def test_confidential_fraction_zero_and_one(self):
+        all_open = list(trade_stream(["a", "b"], 100, confidential_fraction=0.0))
+        assert not any(t.confidential for t in all_open)
+        all_private = list(trade_stream(["a", "b"], 100, confidential_fraction=1.0))
+        assert all(t.confidential for t in all_private)
+
+    def test_fraction_roughly_respected(self):
+        trades = list(trade_stream(["a", "b", "c"], 1000, confidential_fraction=0.3))
+        share = sum(t.confidential for t in trades) / len(trades)
+        assert 0.2 < share < 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(trade_stream(["solo"], 10))
+        with pytest.raises(ValueError):
+            list(trade_stream(["a", "b"], 10, confidential_fraction=1.5))
+
+    def test_notional_positive(self):
+        assert all(t.notional > 0 for t in trade_stream(["a", "b"], 100))
