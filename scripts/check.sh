@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo health gate: tier-1 tests, then the strict self-lint.
+#
+# Usage: scripts/check.sh [extra pytest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests "$@"
+
+echo
+echo "== strict self-lint (src/repro + examples) =="
+python -m repro lint --self --strict

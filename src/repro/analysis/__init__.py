@@ -1,0 +1,50 @@
+"""Static privacy-leakage and determinism analysis.
+
+The paper's central argument is that privacy on enterprise DLTs is a
+*design-time* property: the right mechanism (off-chain data, encryption,
+commitments, tear-offs) has to be chosen before deployment, because a
+leak on an immutable ledger cannot be unshipped.  The dynamic leakage
+auditor (:mod:`repro.core.audit`) verifies this at *run* time; this
+package verifies it at *authoring* time, by linting contract functions,
+platform code, and use cases for three violation classes:
+
+- information flows from confidential sources to public sinks that skip
+  every catalog mechanism (:mod:`repro.analysis.taint`),
+- nondeterminism inside contract/validation code, which breaks replayed
+  validation (:mod:`repro.analysis.determinism`),
+- plaintext or metadata crossing a platform trust boundary
+  (:mod:`repro.analysis.boundaries`).
+
+CLI: ``repro lint <paths>`` / ``repro lint --self [--strict] [--json]``.
+Suppress a finding with ``# repro: allow(<rule-id>)`` on (or directly
+above) the offending line.
+"""
+
+from repro.analysis.engine import (
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    self_paths,
+)
+from repro.analysis.findings import (
+    Finding,
+    LintReport,
+    Severity,
+    SuppressionIndex,
+)
+from repro.analysis.rules import RULES, RULES_BY_CODE, Rule, rule
+
+__all__ = [
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "self_paths",
+    "Finding",
+    "LintReport",
+    "Severity",
+    "SuppressionIndex",
+    "RULES",
+    "RULES_BY_CODE",
+    "Rule",
+    "rule",
+]

@@ -1,0 +1,103 @@
+"""Analyzer entry points: parse, run the three passes, apply suppressions.
+
+``analyze_source`` lints one source string; ``analyze_paths`` walks files
+and directories; ``self_paths`` resolves the repo's own ``src/repro`` and
+``examples`` trees for ``repro lint --self``.
+
+Suppressions never delete findings — they mark them, so the audit
+cross-check and ``--include-suppressed`` can still reason about what the
+analyzer saw (an intentional demonstration of a leaky design is still a
+leak, just an acknowledged one).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+from repro.analysis.boundaries import run_boundary_pass
+from repro.analysis.determinism import run_determinism_pass
+from repro.analysis.findings import Finding, LintReport, SuppressionIndex
+from repro.analysis.scopes import ModuleIndex
+from repro.analysis.taint import run_taint_pass
+
+_PASSES = (run_taint_pass, run_determinism_pass, run_boundary_pass)
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    seen: set[tuple] = set()
+    unique: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule_id, finding.path, finding.line, finding.col,
+               finding.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(finding)
+    return unique
+
+
+def analyze_source(source: str, path: str = "<memory>") -> list[Finding]:
+    """Lint one module's source; returns findings sorted by location."""
+    tree = ast.parse(source, filename=path)
+    index = ModuleIndex(tree=tree, path=path)
+    findings: list[Finding] = []
+    for run_pass in _PASSES:
+        findings.extend(run_pass(index))
+    findings = _dedupe(findings)
+
+    suppressions = SuppressionIndex.from_source(source)
+    marked = [
+        Finding(**{**f.__dict__, "suppressed": True})
+        if suppressions.allows(f.line, f.rule_id, f.code)
+        else f
+        for f in findings
+    ]
+    return sorted(marked, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def iter_python_files(paths: list[str | pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while preserving order (overlapping path arguments).
+    seen: set[pathlib.Path] = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def analyze_paths(paths: list[str | pathlib.Path]) -> LintReport:
+    """Lint every ``.py`` file under *paths*."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            findings = analyze_source(source, path=str(path))
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{path}: {exc.msg} (line {exc.lineno})")
+            continue
+        except OSError as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.files_analyzed += 1
+        report.findings.extend(findings)
+    return report
+
+
+def self_paths() -> list[pathlib.Path]:
+    """The repo's own lintable trees: ``src/repro`` and ``examples``."""
+    package_dir = pathlib.Path(__file__).resolve().parent.parent
+    targets = [package_dir]
+    repo_root = package_dir.parent.parent
+    examples = repo_root / "examples"
+    if examples.is_dir():
+        targets.append(examples)
+    return targets

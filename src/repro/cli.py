@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands expose the paper's artifacts without writing any code:
+Subcommands expose the paper's artifacts without writing any code:
 
 - ``repro table1``   — regenerate Table 1 from capability probes and diff
   it against the published matrix.
@@ -9,6 +9,8 @@ Four subcommands expose the paper's artifacts without writing any code:
 - ``repro design``   — run the full guide over a JSON requirements file
   and emit the markdown report.
 - ``repro audit``    — run the leakage audit across the three platforms.
+- ``repro lint``     — static privacy-leakage / determinism analysis over
+  contract, platform, and use-case code (``--self`` lints this repo).
 
 Run ``python -m repro <subcommand> --help`` for details.
 """
@@ -130,6 +132,24 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_paths, self_paths
+
+    paths = list(args.paths)
+    if args.self_scan:
+        paths.extend(self_paths())
+    if not paths:
+        print("repro lint: no paths given (pass files/dirs or --self)",
+              file=sys.stderr)
+        return 2
+    report = analyze_paths(paths)
+    if args.json:
+        print(report.to_json(include_suppressed=args.include_suppressed))
+    else:
+        print(report.render_text(include_suppressed=args.include_suppressed))
+    return report.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -174,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     audit = sub.add_parser("audit", help="run the cross-platform leakage audit")
     audit.set_defaults(func=_cmd_audit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static privacy-leakage and determinism linter",
+        description="Lints Python contract functions, platform code, and "
+        "use cases for confidential-to-public information flows, "
+        "nondeterminism in validation logic, and trust-boundary caveats. "
+        "Exit status: 1 if any error finding (with --strict: warnings "
+        "too) survives suppression, else 0.",
+    )
+    lint.add_argument("paths", nargs="*", help="files or directories to lint")
+    lint.add_argument(
+        "--self", dest="self_scan", action="store_true",
+        help="lint this repo's own src/repro and examples trees",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also fail on warning-severity findings",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    lint.add_argument(
+        "--include-suppressed", action="store_true",
+        help="show findings silenced by '# repro: allow(...)' comments",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

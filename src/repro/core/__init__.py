@@ -36,6 +36,13 @@ from repro.core.requirements import (
 )
 
 _LAZY = {
+    # The static analyzer is correctness tooling layered over the same
+    # mechanism catalog; exposed here lazily so importing repro.core stays
+    # cheap and the import graph stays acyclic.
+    "analyze_paths": "repro.analysis",
+    "analyze_source": "repro.analysis",
+    "Finding": "repro.analysis",
+    "LintReport": "repro.analysis",
     "AuditReport": "repro.core.audit",
     "audit_all": "repro.core.audit",
     "audit_corda": "repro.core.audit",

@@ -104,6 +104,9 @@ def audit_fabric(seed: str = "audit-fabric") -> AuditReport:
     net.create_channel("trade-ab", list(TRADING_PARTIES))
 
     def record_trade(view, args):
+        # Deliberately leaky: the dynamic audit below measures exactly this
+        # plaintext write, and tests cross-check it against the static pass.
+        # repro: allow(flow-to-state)
         view.put(CONFIDENTIAL_KEY, args["price"])
         return args["price"]
 
@@ -189,6 +192,9 @@ def audit_quorum(seed: str = "audit-quorum") -> AuditReport:
         net.onboard(org)
 
     def record_trade(view, args):
+        # Deliberately leaky: the dynamic audit below measures exactly this
+        # plaintext write, and tests cross-check it against the static pass.
+        # repro: allow(flow-to-state)
         view.put(CONFIDENTIAL_KEY, args["price"])
         return args["price"]
 

@@ -3,6 +3,7 @@
 from repro.execution.contracts import (
     ContractRegistry,
     SmartContract,
+    SourceLocation,
     StateView,
 )
 from repro.execution.engines import (
@@ -17,6 +18,7 @@ from repro.execution.engines import (
 __all__ = [
     "ContractRegistry",
     "SmartContract",
+    "SourceLocation",
     "StateView",
     "EngineProperties",
     "ExecutionEngine",

@@ -9,6 +9,7 @@ manage versions externally (and can drift — a hazard the tests exercise).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -16,6 +17,29 @@ from repro.common.errors import ContractError
 from repro.crypto.hashing import hash_hex
 
 ContractFunction = Callable[["StateView", dict], Any]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a registered contract function's code lives.
+
+    The static analyzer and error messages use this to point at *user*
+    contract code instead of at the execution engine.  ``introspectable``
+    is False for callables whose source cannot be recovered (builtins,
+    C-level callables, code defined in a REPL) — registering those makes
+    the contract invisible to the linter, which is why the use cases
+    register plain ``def``s.
+    """
+
+    function: str
+    file: str
+    line: int
+    introspectable: bool
+    source: str | None = None
+
+    def describe(self) -> str:
+        status = "" if self.introspectable else " (source unavailable)"
+        return f"{self.function} @ {self.file}:{self.line}{status}"
 
 
 class StateView:
@@ -97,10 +121,43 @@ class SmartContract:
             },
         )
 
-    def invoke(self, function: str, view: StateView, args: dict) -> Any:
+    def source_location(self, function: str) -> SourceLocation:
+        """Introspect where *function*'s registered code was defined."""
         if function not in self.functions:
             raise ContractError(
                 f"contract {self.contract_id!r} has no function {function!r}"
+            )
+        fn = self.functions[function]
+        code = getattr(fn, "__code__", None)
+        file = getattr(code, "co_filename", "<unknown>")
+        line = getattr(code, "co_firstlineno", 0)
+        try:
+            source = inspect.getsource(fn)
+            introspectable = True
+        except (OSError, TypeError):
+            source = None
+            introspectable = False
+        return SourceLocation(
+            function=function,
+            file=file,
+            line=line,
+            introspectable=introspectable,
+            source=source,
+        )
+
+    def source_locations(self) -> dict[str, SourceLocation]:
+        """Source locations for every registered entry point."""
+        return {name: self.source_location(name) for name in sorted(self.functions)}
+
+    def invoke(self, function: str, view: StateView, args: dict) -> Any:
+        if function not in self.functions:
+            available = ", ".join(
+                location.describe()
+                for location in self.source_locations().values()
+            )
+            raise ContractError(
+                f"contract {self.contract_id!r} has no function {function!r}"
+                + (f"; registered entry points: {available}" if available else "")
             )
         return self.functions[function](view, args)
 

@@ -628,9 +628,13 @@ class FabricNetwork(Platform):
         # endorsement flow would replace peer-side chaincode execution
         # entirely — the paper classifies this as requiring a rewrite.
         engine = TEEEngine()
+
+        def noop(view, args):
+            return "ok"
+
         contract = SmartContract(
             contract_id="probe-tee", version=1, language="python-chaincode",
-            functions={"noop": lambda view, args: "ok"},
+            functions={"noop": noop},
         )
         engine.install("peer-tee", contract)
         standalone = engine.execute("peer-tee", "probe-tee", "noop", {}, {}, {})

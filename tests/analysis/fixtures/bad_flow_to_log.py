@@ -1,0 +1,5 @@
+"""Bad: confidential value printed to the operational log."""
+
+
+def show_customer(customer_passport):
+    print("onboarded", customer_passport)

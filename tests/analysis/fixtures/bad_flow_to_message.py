@@ -1,0 +1,5 @@
+"""Bad: confidential payload sent point-to-point in the clear."""
+
+
+def notify(network, secret_terms):
+    network.send("OrgC", secret_terms)

@@ -1,0 +1,5 @@
+"""Bad: confidential value placed in transaction metadata."""
+
+
+def submit(ledger, secret_bid):
+    ledger.record("auction", metadata={"bid": secret_bid})

@@ -1,0 +1,7 @@
+"""Bad: plaintext confidential value written to shared ledger state."""
+
+
+def record_trade(view, args):
+    secret_price = args["price"]
+    view.put("trade/latest", secret_price)
+    return secret_price

@@ -1,0 +1,17 @@
+"""Bad: environment access inside a registered contract function."""
+
+import os
+
+from repro.execution import SmartContract
+
+
+def price(view, args):
+    rate = os.environ.get("FX_RATE", "1.0")
+    view.put("rate", rate)
+    return rate
+
+
+CONTRACT = SmartContract(
+    contract_id="fx", version=1, language="python",
+    functions={"price": price},
+)

@@ -1,0 +1,17 @@
+"""Bad: randomness inside a registered contract function."""
+
+import random
+
+from repro.execution import SmartContract
+
+
+def draw(view, args):
+    winner = random.choice(args["entrants"])
+    view.put("winner", winner)
+    return winner
+
+
+CONTRACT = SmartContract(
+    contract_id="lottery", version=1, language="python",
+    functions={"draw": draw},
+)

@@ -1,0 +1,17 @@
+"""Bad: wall-clock read inside a registered contract function."""
+
+import time
+
+from repro.execution import SmartContract
+
+
+def expire(view, args):
+    now = time.time()
+    view.put("expiry", now)
+    return now
+
+
+CONTRACT = SmartContract(
+    contract_id="demo", version=1, language="python",
+    functions={"expire": expire},
+)

@@ -1,0 +1,5 @@
+"""Bad (design note): a validating notary sees full transaction contents."""
+
+
+def build(CordaNetwork):
+    return CordaNetwork(seed="demo", validating_notary=True)

@@ -1,0 +1,5 @@
+"""Bad (design note): collection membership shows up in transactions."""
+
+
+def setup(channel):
+    channel.create_collection("pricing", members=["OrgA", "OrgB"])

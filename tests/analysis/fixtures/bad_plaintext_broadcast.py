@@ -1,0 +1,5 @@
+"""Bad: confidential value broadcast beyond the participant set."""
+
+
+def announce(network, secret_terms):
+    network.broadcast(secret_terms)

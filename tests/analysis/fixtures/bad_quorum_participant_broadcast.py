@@ -1,0 +1,5 @@
+"""Bad (design note): the private_for list is broadcast network-wide."""
+
+
+def place_order(client, payload):
+    client.send_private_transaction(payload, private_for=["OrgB"])

@@ -1,0 +1,18 @@
+"""Bad: iteration order over a set differs between interpreter runs."""
+
+from repro.execution import SmartContract
+
+
+def settle(view, args):
+    total = 0
+    for member in {"OrgA", "OrgB", "OrgC"}:
+        total += args.get(member, 0)
+        view.put("last-visited", member)
+    view.put("total", total)
+    return total
+
+
+CONTRACT = SmartContract(
+    contract_id="settle", version=1, language="python",
+    functions={"settle": settle},
+)

@@ -1,0 +1,15 @@
+"""Bad: builtin hash() is salted per process — replicas disagree."""
+
+from repro.execution import SmartContract
+
+
+def key_for(view, args):
+    bucket = hash(args["payload"]) % 16
+    view.put("bucket", bucket)
+    return bucket
+
+
+CONTRACT = SmartContract(
+    contract_id="index", version=1, language="python",
+    functions={"key_for": key_for},
+)

@@ -1,0 +1,7 @@
+"""Clean: only a redacted digest of the value is logged."""
+
+from repro.crypto.hashing import hash_hex
+
+
+def show_customer(customer_passport):
+    print("onboarded", hash_hex("kyc", customer_passport))

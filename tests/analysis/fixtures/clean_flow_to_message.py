@@ -1,0 +1,5 @@
+"""Clean: the payload is encrypted before it leaves the party."""
+
+
+def notify(network, shared_key, secret_terms):
+    network.send("OrgB", encrypt(shared_key, secret_terms))

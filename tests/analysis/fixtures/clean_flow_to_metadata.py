@@ -1,0 +1,5 @@
+"""Clean: metadata carries only a commitment to the value."""
+
+
+def submit(ledger, secret_bid):
+    ledger.record("auction", metadata={"bid_commitment": commit(secret_bid)})

@@ -1,0 +1,9 @@
+"""Clean: only a digest of the confidential value reaches the ledger."""
+
+from repro.crypto.hashing import hash_hex
+
+
+def record_trade(view, args):
+    secret_price = args["price"]
+    view.put("trade/latest", hash_hex("trade", secret_price))
+    return None

@@ -1,0 +1,15 @@
+"""Clean: the external fact arrives as an oracle-attested argument."""
+
+from repro.execution import SmartContract
+
+
+def price(view, args):
+    rate = args["oracle_attested_rate"]
+    view.put("rate", rate)
+    return rate
+
+
+CONTRACT = SmartContract(
+    contract_id="fx", version=1, language="python",
+    functions={"price": price},
+)

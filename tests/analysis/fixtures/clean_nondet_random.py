@@ -1,0 +1,19 @@
+"""Clean: the 'random' choice is derived deterministically from inputs."""
+
+from repro.crypto.hashing import hash_hex
+
+from repro.execution import SmartContract
+
+
+def draw(view, args):
+    entrants = args["entrants"]
+    digest = hash_hex("draw", args["tx_id"])
+    winner = entrants[int(digest[:8], 16) % len(entrants)]
+    view.put("winner", winner)
+    return winner
+
+
+CONTRACT = SmartContract(
+    contract_id="lottery", version=1, language="python",
+    functions={"draw": draw},
+)

@@ -1,0 +1,15 @@
+"""Clean: the timestamp comes from the transaction itself."""
+
+from repro.execution import SmartContract
+
+
+def expire(view, args):
+    deadline = args["tx_time_window_end"]
+    view.put("expiry", deadline)
+    return deadline
+
+
+CONTRACT = SmartContract(
+    contract_id="demo", version=1, language="python",
+    functions={"expire": expire},
+)

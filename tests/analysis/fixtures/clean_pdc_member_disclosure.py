@@ -1,0 +1,5 @@
+"""Clean: a plain channel write involves no collection metadata."""
+
+
+def setup(channel):
+    channel.invoke("trade-cc", "record", {"volume": 10})

@@ -1,0 +1,5 @@
+"""Clean: a public transaction makes no interaction-privacy claim."""
+
+
+def place_order(client, payload):
+    client.send_transaction(payload)

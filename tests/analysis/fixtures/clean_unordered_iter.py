@@ -1,0 +1,18 @@
+"""Clean: sorted() pins the iteration order on every node."""
+
+from repro.execution import SmartContract
+
+
+def settle(view, args):
+    total = 0
+    for member in sorted({"OrgA", "OrgB", "OrgC"}):
+        total += args.get(member, 0)
+        view.put("last-visited", member)
+    view.put("total", total)
+    return total
+
+
+CONTRACT = SmartContract(
+    contract_id="settle", version=1, language="python",
+    functions={"settle": settle},
+)

@@ -1,0 +1,17 @@
+"""Clean: a stable cryptographic digest replaces builtin hash()."""
+
+from repro.crypto.hashing import hash_hex
+
+from repro.execution import SmartContract
+
+
+def key_for(view, args):
+    bucket = int(hash_hex("bucket", args["payload"])[:2], 16) % 16
+    view.put("bucket", bucket)
+    return bucket
+
+
+CONTRACT = SmartContract(
+    contract_id="index", version=1, language="python",
+    functions={"key_for": key_for},
+)

@@ -1,0 +1,89 @@
+"""The seeded violation corpus: every rule detects its bad fixture and
+stays silent on the corrected twin.
+
+Each ``bad_<rule>.py`` commits exactly the violation the rule targets;
+each ``clean_<rule>.py`` applies the paper's recommended mechanism (hash
+anchor, encryption, commitment, transaction timestamp, sorted iteration,
+non-validating notary, ...) and must produce zero findings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import RULES, Severity, analyze_paths, rule
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+RULE_IDS = sorted(RULES)
+
+
+def _slug(rule_id: str) -> str:
+    return rule_id.replace("-", "_")
+
+
+def test_corpus_covers_every_rule():
+    for rule_id in RULE_IDS:
+        assert (FIXTURES / f"bad_{_slug(rule_id)}.py").is_file()
+        assert (FIXTURES / f"clean_{_slug(rule_id)}.py").is_file()
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_is_detected(rule_id):
+    report = analyze_paths([FIXTURES / f"bad_{_slug(rule_id)}.py"])
+    assert not report.parse_errors
+    detected = {f.rule_id for f in report.active()}
+    assert rule_id in detected
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_fixture_is_silent(rule_id):
+    report = analyze_paths([FIXTURES / f"clean_{_slug(rule_id)}.py"])
+    assert not report.parse_errors
+    assert report.active() == []
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_detected_findings_carry_rule_metadata(rule_id):
+    report = analyze_paths([FIXTURES / f"bad_{_slug(rule_id)}.py"])
+    target = [f for f in report.active() if f.rule_id == rule_id]
+    assert target
+    expected = rule(rule_id)
+    for finding in target:
+        assert finding.code == expected.code
+        assert finding.severity is expected.severity
+        assert finding.line > 0
+        assert finding.hint
+        assert finding.path.endswith(f"bad_{_slug(rule_id)}.py")
+
+
+def test_error_rules_fail_default_exit_code():
+    error_rules = [r for r in RULE_IDS if RULES[r].severity is Severity.ERROR]
+    assert error_rules  # the catalog has ERROR rules
+    for rule_id in error_rules:
+        report = analyze_paths([FIXTURES / f"bad_{_slug(rule_id)}.py"])
+        assert report.exit_code(strict=False) == 1
+
+
+def test_info_rules_never_fail():
+    info_rules = [r for r in RULE_IDS if RULES[r].severity is Severity.INFO]
+    assert info_rules
+    for rule_id in info_rules:
+        report = analyze_paths([FIXTURES / f"bad_{_slug(rule_id)}.py"])
+        assert report.exit_code(strict=True) == 0
+
+
+def test_warning_rules_fail_only_under_strict():
+    warning_rules = [
+        r for r in RULE_IDS if RULES[r].severity is Severity.WARNING
+    ]
+    assert warning_rules
+    for rule_id in warning_rules:
+        report = analyze_paths([FIXTURES / f"bad_{_slug(rule_id)}.py"])
+        only_warnings = all(
+            f.severity is not Severity.ERROR for f in report.active()
+        )
+        if only_warnings:
+            assert report.exit_code(strict=False) == 0
+        assert report.exit_code(strict=True) == 1

@@ -1,0 +1,148 @@
+"""Engine behavior: suppressions, JSON output, CLI wiring, file walking."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    SuppressionIndex,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+LEAKY = textwrap.dedent(
+    """\
+    def record(view, args):
+        secret_price = args["price"]
+        view.put("trade", secret_price)
+    """
+)
+
+
+class TestSuppressions:
+    def test_unsuppressed_finding_is_active(self):
+        findings = analyze_source(LEAKY)
+        assert [f.rule_id for f in findings] == ["flow-to-state"]
+        assert not findings[0].suppressed
+
+    def test_same_line_suppression_by_rule_id(self):
+        source = LEAKY.replace(
+            'view.put("trade", secret_price)',
+            'view.put("trade", secret_price)  # repro: allow(flow-to-state)',
+        )
+        findings = analyze_source(source)
+        assert len(findings) == 1
+        assert findings[0].suppressed
+
+    def test_standalone_comment_covers_next_line(self):
+        source = LEAKY.replace(
+            '    view.put("trade", secret_price)',
+            '    # repro: allow(flow-to-state)\n'
+            '    view.put("trade", secret_price)',
+        )
+        findings = analyze_source(source)
+        assert len(findings) == 1
+        assert findings[0].suppressed
+
+    def test_suppression_by_code_and_wildcard(self):
+        for marker in ("F101", "*"):
+            source = LEAKY.replace(
+                'view.put("trade", secret_price)',
+                f'view.put("trade", secret_price)  # repro: allow({marker})',
+            )
+            findings = analyze_source(source)
+            assert findings[0].suppressed, marker
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = LEAKY.replace(
+            'view.put("trade", secret_price)',
+            'view.put("trade", secret_price)  # repro: allow(nondet-time)',
+        )
+        findings = analyze_source(source)
+        assert not findings[0].suppressed
+
+    def test_suppression_marks_rather_than_deletes(self):
+        source = LEAKY + "    # repro: allow(flow-to-state)\n"
+        index = SuppressionIndex.from_source(source)
+        assert index.allows(4, "flow-to-state", "F101")
+        report = analyze_paths([FIXTURES / "bad_flow_to_state.py"])
+        assert len(report.findings) == len(report.active()) + len(
+            report.suppressed()
+        )
+
+
+class TestReportOutput:
+    def test_json_document_shape(self):
+        report = analyze_paths([FIXTURES / "bad_flow_to_state.py"])
+        document = json.loads(report.to_json())
+        assert document["files_analyzed"] == 1
+        assert document["parse_errors"] == []
+        finding = document["findings"][0]
+        assert finding["rule_id"] == "flow-to-state"
+        assert finding["code"] == "F101"
+        assert finding["severity"] == "error"
+        assert finding["line"] > 0
+        assert "record_trade" in finding["context"]
+
+    def test_text_report_has_summary_line(self):
+        report = analyze_paths([FIXTURES / "bad_flow_to_log.py"])
+        text = report.render_text()
+        assert "summary:" in text
+        assert "flow-to-log" in text
+
+    def test_parse_error_fails_exit_code(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        report = analyze_paths([broken])
+        assert report.parse_errors
+        assert report.exit_code() == 1
+
+
+class TestFileWalking:
+    def test_directory_walk_deduplicates(self):
+        files = iter_python_files([FIXTURES, FIXTURES / "bad_flow_to_state.py"])
+        resolved = [f.resolve() for f in files]
+        assert len(resolved) == len(set(resolved))
+        assert any(f.name == "bad_flow_to_state.py" for f in files)
+
+    def test_non_python_paths_are_skipped(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("not python")
+        assert iter_python_files([tmp_path / "notes.txt"]) == []
+
+
+class TestCli:
+    def test_lint_reports_error_exit(self, capsys):
+        code = main(["lint", str(FIXTURES / "bad_flow_to_state.py")])
+        assert code == 1
+        assert "F101" in capsys.readouterr().out
+
+    def test_lint_clean_file_exits_zero(self, capsys):
+        code = main(["lint", str(FIXTURES / "clean_flow_to_state.py")])
+        assert code == 0
+        assert "0 error" in capsys.readouterr().out
+
+    def test_lint_strict_promotes_warnings(self, capsys):
+        target = str(FIXTURES / "bad_flow_to_log.py")
+        assert main(["lint", target]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", target]) == 1
+
+    def test_lint_json_output(self, capsys):
+        code = main(["lint", "--json", str(FIXTURES / "bad_nondet_time.py")])
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert any(
+            f["rule_id"] == "nondet-time" for f in document["findings"]
+        )
+
+    def test_lint_without_paths_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "path" in capsys.readouterr().err.lower()
