@@ -175,6 +175,49 @@ def test_notary_modes(benchmark, validating):
         assert knowledge["data_keys"] == []
 
 
+@pytest.mark.parametrize("batch_timeout", [0.25, 1.0])
+def test_per_tx_notarisation_avoids_batch_timeout_floor(benchmark, batch_timeout):
+    """Corda notarises per transaction; batching orderers pay the timeout.
+
+    The same lone transaction through a Fabric/Quorum-style batching
+    ordering service waits out ``batch_timeout`` before release, while the
+    notary acks immediately — the latency side of §3.4's ordering choice.
+    """
+    from repro.common.clock import SimClock
+    from repro.ledger.ordering import OrdererProfile, OrderingService
+    from repro.ledger.transaction import Transaction, WriteEntry
+
+    clock = SimClock()
+    orderer = OrderingService(
+        "batching", clock,
+        profile=OrdererProfile(
+            capacity_tps=1000.0, max_batch_size=100,
+            batch_timeout=batch_timeout,
+        ),
+    )
+    orderer.submit(Transaction(
+        channel="ch", submitter="Alice",
+        writes=(WriteEntry(key="k", value=1),),
+    ))
+    batching_release = orderer.cut_batch("ch").released_at
+    assert batching_release >= batch_timeout
+
+    net = fresh_network(f"s2-timeout-{batch_timeout}")
+    net.onboard("Alice")
+    net.onboard("Bob")
+    counter = itertools.count()
+
+    def flow():
+        before = net.clock.now
+        result = run_deal(net, ["Alice", "Bob"], tag=next(counter))
+        return result, net.clock.now - before
+
+    result, notary_wait = benchmark(flow)
+    assert result.receipt is not None
+    # The notary never holds a transaction back to fill a batch.
+    assert notary_wait < batching_release
+
+
 @pytest.mark.parametrize("hops", [1, 4, 16])
 def test_backchain_disclosure_grows_with_history(benchmark, hops):
     """Ablation: transaction resolution reveals a state's whole lineage.

@@ -151,6 +151,69 @@ def test_invoke_latency_vs_endorser_count(benchmark, orgs):
     assert len(result.tx.endorsements) == orgs
 
 
+@pytest.mark.parametrize("batch_timeout", [0.1, 0.5, 2.0])
+def test_batch_timeout_bounds_quiet_channel_latency(benchmark, batch_timeout):
+    """A lone tx on a quiet channel is released once batch_timeout expires."""
+
+    def run():
+        clock = SimClock()
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(
+                capacity_tps=ORDERER_TPS, max_batch_size=50,
+                batch_timeout=batch_timeout,
+            ),
+        )
+        orderer.submit(Transaction(
+            channel="ch", submitter="org",
+            writes=(WriteEntry(key="k", value=1),),
+        ))
+        return orderer.cut_batch("ch").released_at
+
+    released = benchmark(run)
+    # The timeout is the latency floor for partial batches.
+    assert released == pytest.approx(batch_timeout + 1 / ORDERER_TPS)
+
+
+def test_batch_timeout_series(benchmark):
+    """Quiet channels pay the timeout; saturated channels never do."""
+
+    def release_time(batch_timeout: float, tx_count: int) -> float:
+        clock = SimClock()
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(
+                capacity_tps=ORDERER_TPS, max_batch_size=50,
+                batch_timeout=batch_timeout,
+            ),
+        )
+        for n in range(tx_count):
+            orderer.submit(Transaction(
+                channel="ch", submitter="org",
+                writes=(WriteEntry(key=f"k{n}", value=n),),
+            ))
+        return orderer.cut_batch("ch").released_at
+
+    def build_series():
+        return [
+            (timeout, release_time(timeout, 1), release_time(timeout, 50))
+            for timeout in (0.05, 0.25, 1.0)
+        ]
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    lines = ["S1: batch release time (s) vs batch_timeout",
+             f"{'timeout':>8s} {'quiet (1 tx)':>14s} {'full (50 tx)':>14s}"]
+    for timeout, quiet, full in rows:
+        lines.append(f"{timeout:>8.2f} {quiet:>14.3f} {full:>14.3f}")
+    write_result("s1_fabric_batch_timeout", "\n".join(lines))
+    quiet_times = [quiet for __, quiet, __f in rows]
+    # The knob measurably moves quiet-channel release times...
+    assert quiet_times == sorted(quiet_times)
+    assert quiet_times[-1] > quiet_times[0] * 10
+    # ...and leaves full batches untouched.
+    assert len({full for __, __q, full in rows}) == 1
+
+
 class TestPrivateOrderingCluster:
     """Ablation: running your own ordering as a replicated Raft cluster.
 

@@ -140,6 +140,34 @@ def test_private_vs_public_series(benchmark):
     assert rows[0][4] == rows[-1][4]
 
 
+@pytest.mark.parametrize("batch_timeout", [0.2, 1.0])
+def test_sequencer_batch_timeout_sets_block_interval(benchmark, batch_timeout):
+    """A partial block is sealed once its oldest tx has aged batch_timeout.
+
+    The synchronous submit paths force-cut their blocks; this measures the
+    asynchronous regime where the sequencer accumulates a quiet channel.
+    """
+    from repro.ledger.ordering import OrdererProfile
+    from repro.ledger.transaction import Transaction, WriteEntry
+
+    counter = itertools.count()
+
+    def seal_partial_block():
+        net = fresh_network(f"s3-timeout-{batch_timeout}-{next(counter)}", size=4)
+        net.sequencer.profile = OrdererProfile(
+            capacity_tps=1000.0, max_batch_size=100,
+            batch_timeout=batch_timeout,
+        )
+        net.sequencer.submit(Transaction(
+            channel="quorum-public", submitter="N0",
+            writes=(WriteEntry(key="k", value=1),),
+        ))
+        return net.sequencer.cut_batch("quorum-public").released_at
+
+    released = benchmark(seal_partial_block)
+    assert released == pytest.approx(batch_timeout + 1 / 1000.0)
+
+
 def test_participant_leak_scales_with_network(benchmark):
     """The broadcast participant list reaches every node, however many."""
 

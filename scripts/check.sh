@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo health gate: tier-1 tests, then the strict self-lint.
+# Repo health gate: tier-1 tests, the chaos suite, then the strict self-lint.
 #
 # Usage: scripts/check.sh [extra pytest args]
 set -euo pipefail
@@ -9,6 +9,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q tests "$@"
+
+echo
+echo "== chaos suite (fault injection + liveness/privacy invariants) =="
+python -m pytest -x -q tests/integration/test_chaos.py tests/network/test_faults.py
 
 echo
 echo "== strict self-lint (src/repro + examples) =="

@@ -65,6 +65,10 @@ class DeliveryError(NetworkError):
     """A message could not be delivered (unknown node, partition)."""
 
 
+class DeliveryTimeout(DeliveryError):
+    """Resilient delivery exhausted its retry budget without an ack."""
+
+
 class PlatformError(ReproError):
     """Base class for platform-simulation failures."""
 

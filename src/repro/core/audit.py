@@ -96,9 +96,15 @@ def _knowledge_of(name: str, observer) -> PrincipalKnowledge:
     )
 
 
-def audit_fabric(seed: str = "audit-fabric") -> AuditReport:
-    """Scenario on Fabric: a two-member channel inside a five-org network."""
+def audit_fabric(seed: str = "audit-fabric", fault_plan=None) -> AuditReport:
+    """Scenario on Fabric: a two-member channel inside a five-org network.
+
+    ``fault_plan`` injects substrate faults for the chaos tests' privacy
+    invariant: the report must be identical with faults on and off.
+    """
     net = FabricNetwork(seed=seed)
+    if fault_plan is not None:
+        net.inject_faults(fault_plan)
     for org in TRADING_PARTIES + UNINVOLVED:
         net.onboard(org)
     net.create_channel("trade-ab", list(TRADING_PARTIES))
@@ -132,9 +138,11 @@ def audit_fabric(seed: str = "audit-fabric") -> AuditReport:
     return report
 
 
-def audit_corda(seed: str = "audit-corda") -> AuditReport:
+def audit_corda(seed: str = "audit-corda", fault_plan=None) -> AuditReport:
     """Scenario on Corda: a p2p trade, non-validating notary."""
     net = CordaNetwork(seed=seed, validating_notary=False)
+    if fault_plan is not None:
+        net.inject_faults(fault_plan)
     for org in TRADING_PARTIES + UNINVOLVED:
         net.onboard(org)
 
@@ -185,9 +193,11 @@ def audit_corda(seed: str = "audit-corda") -> AuditReport:
     return report
 
 
-def audit_quorum(seed: str = "audit-quorum") -> AuditReport:
+def audit_quorum(seed: str = "audit-quorum", fault_plan=None) -> AuditReport:
     """Scenario on Quorum: a private transaction among A and B."""
     net = QuorumNetwork(seed=seed)
+    if fault_plan is not None:
+        net.inject_faults(fault_plan)
     for org in TRADING_PARTIES + UNINVOLVED:
         net.onboard(org)
 
@@ -237,10 +247,10 @@ def audit_quorum(seed: str = "audit-quorum") -> AuditReport:
     return report
 
 
-def audit_all(seed: str = "audit") -> list[AuditReport]:
+def audit_all(seed: str = "audit", fault_plan=None) -> list[AuditReport]:
     """Run the scenario on all three platforms."""
     return [
-        audit_fabric(seed=f"{seed}-fabric"),
-        audit_corda(seed=f"{seed}-corda"),
-        audit_quorum(seed=f"{seed}-quorum"),
+        audit_fabric(seed=f"{seed}-fabric", fault_plan=fault_plan),
+        audit_corda(seed=f"{seed}-corda", fault_plan=fault_plan),
+        audit_quorum(seed=f"{seed}-quorum", fault_plan=fault_plan),
     ]

@@ -1,0 +1,5 @@
+"""Fault injection for the network/ordering substrate (paper §3.4)."""
+
+from repro.faults.plan import FaultPlan, Window
+
+__all__ = ["FaultPlan", "Window"]

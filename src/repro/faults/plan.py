@@ -1,0 +1,181 @@
+"""Declarative fault plans for the simulated substrate.
+
+Section 3.4 asks architects whether parties "can feasibly run their own
+[ordering] service" — a question that only has content under faults.  A
+:class:`FaultPlan` describes, ahead of a run, every fault the substrate
+should inject:
+
+- **per-link loss**: probability that a message on a given link is lost
+  silently (plus a network-wide default);
+- **latency multipliers**: timed slow-downs of a link or the whole network
+  (congestion, a saturated orderer uplink);
+- **timed partitions**: link cuts with a start and an optional heal time —
+  consulted both when a message is sent *and* when it would be delivered,
+  so traffic already in flight is cut too;
+- **crash windows**: intervals during which a node is down — sends to or
+  from it are refused, and in-flight messages due inside the window drop;
+- **orderer outages**: intervals during which an ordering principal
+  (Fabric orderer, Corda notary, Quorum consensus) rejects work.
+
+The plan itself is pure data over simulated time: it holds no randomness
+(loss is sampled by the network's deterministic RNG) and never reads the
+wall clock, so faulted runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open interval ``[start, end)`` of simulated seconds."""
+
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise NetworkError("fault window cannot start before time 0")
+        if self.end < self.start:
+            raise NetworkError("fault window cannot end before it starts")
+
+    def contains(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+def _link(a: str, b: str) -> frozenset[str]:
+    return frozenset((a, b))
+
+
+def _check_probability(p: float) -> float:
+    if not 0.0 <= p <= 1.0:
+        raise NetworkError(f"loss probability must be in [0, 1], got {p}")
+    return p
+
+
+class FaultPlan:
+    """A schedule of injected faults, queried by the substrate.
+
+    Builder methods return ``self`` so plans read as one chained
+    declaration::
+
+        plan = (
+            FaultPlan()
+            .set_link_loss("OrgA", "OrgB", 0.3)
+            .slow_all(8.0, start=1.0, end=5.0)
+            .partition_between("OrgA", "fabric-orderer", start=0.0, end=2.0)
+            .crash_node("OrgC", start=0.5, end=1.5)
+            .orderer_outage("fabric-orderer", start=3.0, end=4.0)
+        )
+    """
+
+    def __init__(self) -> None:
+        self.default_loss: float = 0.0
+        self._link_loss: dict[frozenset[str], float] = {}
+        self._latency: list[tuple[frozenset[str] | None, Window, float]] = []
+        self._partitions: list[tuple[frozenset[str], Window]] = []
+        self._crashes: dict[str, list[Window]] = {}
+        self._outages: dict[str, list[Window]] = {}
+
+    # -- builders
+
+    def set_default_loss(self, probability: float) -> "FaultPlan":
+        """Silent-loss probability applied to every link without its own."""
+        self.default_loss = _check_probability(probability)
+        return self
+
+    def set_link_loss(self, a: str, b: str, probability: float) -> "FaultPlan":
+        """Silent-loss probability for the (symmetric) link ``a <-> b``."""
+        self._link_loss[_link(a, b)] = _check_probability(probability)
+        return self
+
+    def slow_link(
+        self, a: str, b: str, factor: float,
+        start: float = 0.0, end: float = math.inf,
+    ) -> "FaultPlan":
+        """Multiply latency on one link by *factor* during the window."""
+        if factor <= 0:
+            raise NetworkError(f"latency multiplier must be > 0, got {factor}")
+        self._latency.append((_link(a, b), Window(start, end), factor))
+        return self
+
+    def slow_all(
+        self, factor: float, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """Multiply latency on every link by *factor* during the window."""
+        if factor <= 0:
+            raise NetworkError(f"latency multiplier must be > 0, got {factor}")
+        self._latency.append((None, Window(start, end), factor))
+        return self
+
+    def partition_between(
+        self, a: str, b: str, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """Cut the link ``a <-> b`` for the window (heals at *end*)."""
+        self._partitions.append((_link(a, b), Window(start, end)))
+        return self
+
+    def crash_node(
+        self, name: str, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """Take *name* down for the window (recovers at *end*)."""
+        self._crashes.setdefault(name, []).append(Window(start, end))
+        return self
+
+    def orderer_outage(
+        self, name: str, start: float = 0.0, end: float = math.inf
+    ) -> "FaultPlan":
+        """Take the ordering principal *name* down for the window."""
+        self._outages.setdefault(name, []).append(Window(start, end))
+        return self
+
+    # -- queries (all pure over simulated time)
+
+    def loss_probability(self, a: str, b: str) -> float:
+        return self._link_loss.get(_link(a, b), self.default_loss)
+
+    def latency_multiplier(self, a: str, b: str, now: float) -> float:
+        """Product of every active multiplier covering the link at *now*."""
+        link = _link(a, b)
+        factor = 1.0
+        for scope, window, multiplier in self._latency:
+            if (scope is None or scope == link) and window.contains(now):
+                factor *= multiplier
+        return factor
+
+    def is_partitioned(self, a: str, b: str, now: float) -> bool:
+        link = _link(a, b)
+        return any(
+            cut == link and window.contains(now)
+            for cut, window in self._partitions
+        )
+
+    def is_crashed(self, name: str, now: float) -> bool:
+        return any(w.contains(now) for w in self._crashes.get(name, ()))
+
+    def orderer_down(self, name: str, now: float) -> bool:
+        return any(w.contains(now) for w in self._outages.get(name, ()))
+
+    def describe(self) -> str:
+        """Human-readable summary (for logs and chaos-test output)."""
+        lines = [f"FaultPlan(default_loss={self.default_loss})"]
+        for link, p in sorted(self._link_loss.items(), key=lambda kv: sorted(kv[0])):
+            lines.append(f"  loss {'-'.join(sorted(link))}: {p}")
+        for scope, window, factor in self._latency:
+            where = "-".join(sorted(scope)) if scope else "all links"
+            lines.append(f"  latency x{factor} on {where} [{window.start}, {window.end})")
+        for link, window in self._partitions:
+            lines.append(
+                f"  partition {'-'.join(sorted(link))} [{window.start}, {window.end})"
+            )
+        for name, windows in sorted(self._crashes.items()):
+            for window in windows:
+                lines.append(f"  crash {name} [{window.start}, {window.end})")
+        for name, windows in sorted(self._outages.items()):
+            for window in windows:
+                lines.append(f"  orderer outage {name} [{window.start}, {window.end})")
+        return "\n".join(lines)

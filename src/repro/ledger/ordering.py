@@ -20,6 +20,12 @@ This module makes that analysis executable.  Every orderer carries an
 A simple service-time model (capacity in tx/s, batch cutting by size or
 timeout) supports the S1-S3 scalability benchmarks: ordering is the shared
 bottleneck whose saturation the benches demonstrate.
+
+The service also models crash/recovery (mirroring ``RaftCluster.crash`` /
+``recover``): a crashed orderer refuses submissions and batch cuts, and its
+pending queues either survive the crash (``durable=True``, a write-ahead
+log) or are lost with it.  Scheduled outages come from an attached
+:class:`repro.faults.FaultPlan`.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.common.clock import SimClock
 from repro.common.errors import OrderingError
+from repro.faults.plan import FaultPlan
 from repro.ledger.transaction import Transaction
 from repro.network.messages import Exposure
 from repro.network.simnet import Observer
@@ -75,17 +82,47 @@ class OrderingService:
         visibility: OrdererVisibility = OrdererVisibility.FULL,
         operator: str = "third-party",
         profile: OrdererProfile | None = None,
+        durable: bool = True,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.name = name
         self.clock = clock
         self.visibility = visibility
         self.operator = operator
         self.profile = profile or OrdererProfile()
+        self.durable = durable
+        self.fault_plan = fault_plan
+        self.crashed = False
         self.observer = Observer(name)
         self._pending: dict[str, list[tuple[Transaction, float]]] = {}
         self._sequence = 0
         self._busy_until = 0.0
         self.total_ordered = 0
+
+    # -- crash / recovery
+
+    def available(self, now: float | None = None) -> bool:
+        """Whether the service accepts work at *now* (default: clock time)."""
+        if self.crashed:
+            return False
+        if self.fault_plan is None:
+            return True
+        when = self.clock.now if now is None else now
+        return not self.fault_plan.orderer_down(self.name, when)
+
+    def _require_available(self) -> None:
+        if not self.available():
+            raise OrderingError(f"ordering service {self.name!r} is down")
+
+    def crash(self) -> None:
+        """Take the service down.  Non-durable services lose their queues."""
+        self.crashed = True
+        if not self.durable:
+            self._pending.clear()
+
+    def recover(self) -> None:
+        """Bring the service back.  Durable queues resume where they were."""
+        self.crashed = False
 
     def _record_visibility(self, tx: Transaction) -> None:
         if self.visibility is OrdererVisibility.FULL:
@@ -105,6 +142,7 @@ class OrderingService:
 
     def submit(self, tx: Transaction) -> None:
         """Accept a transaction for ordering on its channel."""
+        self._require_available()
         self._record_visibility(tx)
         arrival = self.clock.now
         self._pending.setdefault(tx.channel, []).append((tx, arrival))
@@ -112,13 +150,38 @@ class OrderingService:
     def pending_count(self, channel: str) -> int:
         return len(self._pending.get(channel, []))
 
-    def cut_batch(self, channel: str) -> OrderedBatch:
+    def oldest_wait(self, channel: str, now: float | None = None) -> float:
+        """How long the oldest pending tx on *channel* has been waiting."""
+        queue = self._pending.get(channel, [])
+        if not queue:
+            return 0.0
+        when = self.clock.now if now is None else now
+        return max(0.0, when - queue[0][1])
+
+    def ready_to_cut(self, channel: str, now: float | None = None) -> bool:
+        """Whether a batch would be cut at *now*: full, or timeout expired."""
+        queue = self._pending.get(channel, [])
+        if not queue:
+            return False
+        if len(queue) >= self.profile.max_batch_size:
+            return True
+        return self.oldest_wait(channel, now) >= self.profile.batch_timeout
+
+    def cut_batch(self, channel: str, force: bool = False) -> OrderedBatch:
         """Order the pending transactions of *channel* into one batch.
 
         Models service time: the orderer processes transactions serially at
         ``capacity_tps``; the batch release time reflects queueing behind
         earlier work on *any* channel (shared-bottleneck semantics).
+
+        Batch cutting honors ``profile.batch_timeout``: a partial batch
+        (fewer than ``max_batch_size`` transactions) is not released until
+        its oldest transaction has waited ``batch_timeout`` — the release
+        time is pushed out to that expiry.  Pass ``force=True`` to cut
+        immediately regardless (an explicit operator flush, used by the
+        platform simulations' synchronous submit paths).
         """
+        self._require_available()
         queue = self._pending.get(channel, [])
         if not queue:
             raise OrderingError(f"no pending transactions on channel {channel!r}")
@@ -128,6 +191,12 @@ class OrderingService:
         latest_arrival = max(arrival for __, arrival in batch_items)
         service_time = len(transactions) / self.profile.capacity_tps
         start = max(self._busy_until, latest_arrival)
+        if not force and len(batch_items) < self.profile.max_batch_size:
+            # Partial batch: the timeout timer starts at the *oldest*
+            # arrival, so the batch is released once that tx has waited
+            # batch_timeout (or immediately if it already has).
+            oldest_arrival = min(arrival for __, arrival in batch_items)
+            start = max(start, oldest_arrival + self.profile.batch_timeout)
         released_at = start + service_time
         self._busy_until = released_at
         self._sequence += 1
@@ -139,11 +208,11 @@ class OrderingService:
             sequence=self._sequence,
         )
 
-    def drain_channel(self, channel: str) -> list[OrderedBatch]:
+    def drain_channel(self, channel: str, force: bool = False) -> list[OrderedBatch]:
         """Cut batches until the channel queue is empty."""
         batches = []
         while self.pending_count(channel):
-            batches.append(self.cut_batch(channel))
+            batches.append(self.cut_batch(channel, force=force))
         return batches
 
     def is_member_operated(self, members: set[str]) -> bool:

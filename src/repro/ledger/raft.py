@@ -204,9 +204,17 @@ class RaftCluster:
             self.leader = None
 
     def recover(self, operator: str) -> None:
-        """A crashed node rejoins with its persisted log intact."""
+        """A crashed node rejoins with its persisted log intact.
+
+        Volatile election state is reset: a recovered node is a follower
+        with no outstanding vote.  Keeping the pre-crash ``voted_for``
+        would let a stale self-vote from an abandoned candidacy block the
+        node from voting in that same term after rejoining.
+        """
         node = self.node(f"raft-{operator}")
         node.crashed = False
+        node.role = Role.FOLLOWER
+        node.voted_for = None
 
     def logs_consistent(self) -> bool:
         """Safety check: all alive nodes agree on the committed prefix."""

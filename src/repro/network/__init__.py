@@ -1,7 +1,9 @@
 """Discrete-event simulated network with leakage-audit observer taps."""
 
+from repro.faults.plan import FaultPlan
 from repro.network.messages import Exposure, Message
 from repro.network.simnet import (
+    DeliveryReceipt,
     LatencyModel,
     NetworkStats,
     Node,
@@ -12,6 +14,8 @@ from repro.network.simnet import (
 __all__ = [
     "Exposure",
     "Message",
+    "DeliveryReceipt",
+    "FaultPlan",
     "LatencyModel",
     "NetworkStats",
     "Node",

@@ -4,7 +4,13 @@ The substrate every platform simulation runs on.  Provides:
 
 - registered nodes with inboxes and message handlers,
 - point-to-point sends and broadcasts with configurable latency models,
-- message loss and network partitions for fault-injection tests,
+- message loss, network partitions, and scheduled fault plans
+  (:class:`repro.faults.FaultPlan`) consulted at both send *and* delivery
+  time, so a partition created after ``send()`` still cuts in-flight
+  traffic,
+- a resilient-delivery layer (:meth:`SimNetwork.send_with_retry`) with
+  ack tracking, timeouts, and exponential backoff that surfaces exhausted
+  retries as typed :class:`DeliveryTimeout` errors instead of silence,
 - **observer taps**: passive principals (a curious orderer, a wiretapping
   admin) that see traffic and whose accumulated knowledge the leakage
   auditor later inspects,
@@ -20,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.common.clock import SimClock
-from repro.common.errors import DeliveryError
+from repro.common.errors import DeliveryError, DeliveryTimeout
 from repro.common.rng import DeterministicRNG
 from repro.common.serialization import canonical_bytes
+from repro.faults.plan import FaultPlan
 from repro.network.messages import Exposure, Message
 
 
@@ -41,12 +48,32 @@ class LatencyModel:
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic accounting for benchmarks."""
+    """Aggregate traffic accounting for benchmarks and chaos tests.
+
+    ``messages_dropped`` is the total; the ``dropped_by_*`` counters
+    attribute each drop to its fault class (probabilistic loss, a
+    partition that cut the link while the message was in flight, or a
+    recipient that crashed before delivery).
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    dropped_by_loss: int = 0
+    dropped_by_partition: int = 0
+    dropped_by_crash: int = 0
+    retries: int = 0
     bytes_transferred: int = 0
+
+
+@dataclass(frozen=True)
+class DeliveryReceipt:
+    """Ack-tracking outcome of one resilient send."""
+
+    message: Message
+    attempts: int
+    delivered: bool
+    delivered_at: float | None = None
 
 
 class Observer:
@@ -141,17 +168,20 @@ class SimNetwork:
         rng: DeterministicRNG | None = None,
         latency: LatencyModel | None = None,
         drop_probability: float = 0.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.rng = (rng or DeterministicRNG("simnet")).fork("net")
         self.latency = latency or LatencyModel()
         self.drop_probability = drop_probability
+        self.fault_plan = fault_plan
         self.stats = NetworkStats()
         self._nodes: dict[str, Node] = {}
         self._taps: list[Observer] = []
         self._queue: list[_ScheduledDelivery] = []
         self._order = itertools.count()
         self._partitions: set[frozenset[str]] = set()
+        self._delivered_at: dict[int, float] = {}
 
     # -- topology
 
@@ -184,16 +214,52 @@ class SimNetwork:
     def heal(self, a: str, b: str) -> None:
         self._partitions.discard(frozenset((a, b)))
 
-    def is_partitioned(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._partitions
+    def is_partitioned(self, a: str, b: str, now: float | None = None) -> bool:
+        """Whether the link is cut — static partition or fault-plan window."""
+        if frozenset((a, b)) in self._partitions:
+            return True
+        if self.fault_plan is None:
+            return False
+        when = self.clock.now if now is None else now
+        return self.fault_plan.is_partitioned(a, b, when)
+
+    def is_crashed(self, name: str, now: float | None = None) -> bool:
+        """Whether the fault plan has *name* down at *now*."""
+        if self.fault_plan is None:
+            return False
+        when = self.clock.now if now is None else now
+        return self.fault_plan.is_crashed(name, when)
 
     # -- sending
 
     def _payload_size(self, payload: Any) -> int:
         try:
             return len(canonical_bytes(payload))
-        except TypeError:
-            return 256  # opaque object: charge a flat envelope size
+        except (TypeError, ValueError):
+            # Unserializable object or unsupported value (NaN/Inf):
+            # charge a flat opaque-envelope size instead of crashing.
+            return 256
+
+    def _check_link(self, sender: str, recipient: str) -> None:
+        """Raise the TCP-refusal analogue if the link is unusable now."""
+        if recipient not in self._nodes:
+            raise DeliveryError(f"unknown recipient {recipient!r}")
+        if self.is_partitioned(sender, recipient):
+            raise DeliveryError(
+                f"network partition between {sender!r} and {recipient!r}"
+            )
+        for endpoint in (sender, recipient):
+            if self.is_crashed(endpoint):
+                raise DeliveryError(f"node {endpoint!r} is down")
+
+    def _loss_probability(self, sender: str, recipient: str) -> float:
+        """Combined silent-loss probability of the global and link models."""
+        link_loss = (
+            self.fault_plan.loss_probability(sender, recipient)
+            if self.fault_plan is not None
+            else 0.0
+        )
+        return 1.0 - (1.0 - self.drop_probability) * (1.0 - link_loss)
 
     def send(
         self,
@@ -204,10 +270,7 @@ class SimNetwork:
         exposure: Exposure | None = None,
     ) -> Message:
         """Queue a point-to-point message; returns the message envelope."""
-        if recipient not in self._nodes:
-            raise DeliveryError(f"unknown recipient {recipient!r}")
-        if self.is_partitioned(sender, recipient):
-            raise DeliveryError(f"network partition between {sender!r} and {recipient!r}")
+        self._check_link(sender, recipient)
         message = Message(
             sender=sender,
             recipient=recipient,
@@ -218,10 +281,17 @@ class SimNetwork:
             sent_at=self.clock.now,
         )
         self.stats.messages_sent += 1
-        if self.drop_probability > 0 and self.rng.uniform(0, 1) < self.drop_probability:
+        loss = self._loss_probability(sender, recipient)
+        if loss > 0 and self.rng.uniform(0, 1) < loss:
             self.stats.messages_dropped += 1
+            self.stats.dropped_by_loss += 1
             return message
-        due = self.clock.now + self.latency.sample(self.rng)
+        delay = self.latency.sample(self.rng)
+        if self.fault_plan is not None:
+            delay *= self.fault_plan.latency_multiplier(
+                sender, recipient, self.clock.now
+            )
+        due = self.clock.now + delay
         heapq.heappush(
             self._queue, _ScheduledDelivery(due=due, order=next(self._order), message=message)
         )
@@ -235,35 +305,143 @@ class SimNetwork:
         exposure: Exposure | None = None,
         recipients: list[str] | None = None,
     ) -> list[Message]:
-        """Send to every node (or an explicit recipient list) except the sender."""
-        targets = recipients if recipients is not None else self.nodes()
+        """Send to every node (or an explicit recipient list) except the sender.
+
+        Atomic: every target is validated (known, reachable, up) before
+        anything is queued, so a bad target mid-list cannot leave earlier
+        recipients with a partial broadcast.
+        """
+        targets = [
+            target
+            for target in (recipients if recipients is not None else self.nodes())
+            if target != sender
+        ]
+        for target in targets:
+            self._check_link(sender, target)
         return [
             self.send(sender, target, kind, payload, exposure=exposure)
             for target in targets
-            if target != sender
         ]
+
+    # -- resilient delivery
+
+    def was_delivered(self, message: Message) -> bool:
+        """Ack tracking: whether *message* reached its recipient."""
+        return message.message_id in self._delivered_at
+
+    def send_with_retry(
+        self,
+        sender: str,
+        recipient: str,
+        kind: str,
+        payload: Any,
+        exposure: Exposure | None = None,
+        *,
+        timeout: float = 0.25,
+        max_attempts: int = 3,
+        backoff: float = 2.0,
+    ) -> DeliveryReceipt:
+        """Send until acknowledged, with timeout and exponential backoff.
+
+        Each attempt sends a fresh copy (same exposure — retransmission
+        never widens what an observer can learn, it only repeats it) and
+        drives the event loop until either the copy's delivery ack arrives
+        or *timeout* simulated seconds elapse.  Transient link failures
+        (partition windows, crash windows) are retried; an unknown
+        recipient is permanent and raises immediately.  When every attempt
+        times out, raises :class:`DeliveryTimeout` — a typed error in
+        place of the silent drop the fire-and-forget path models.
+        """
+        if max_attempts < 1:
+            raise DeliveryError("max_attempts must be >= 1")
+        if timeout <= 0:
+            raise DeliveryError("timeout must be > 0")
+        if recipient not in self._nodes:
+            raise DeliveryError(f"unknown recipient {recipient!r}")
+        wait = timeout
+        last_refusal: DeliveryError | None = None
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                self.stats.retries += 1
+            try:
+                message = self.send(sender, recipient, kind, payload, exposure=exposure)
+            except DeliveryError as refusal:
+                message = None
+                last_refusal = refusal
+            deadline = self.clock.now + wait
+            if message is not None:
+                while (
+                    self._queue
+                    and self._queue[0].due <= deadline
+                    and not self.was_delivered(message)
+                ):
+                    self.step()
+                if self.was_delivered(message):
+                    return DeliveryReceipt(
+                        message=message,
+                        attempts=attempt,
+                        delivered=True,
+                        delivered_at=self._delivered_at[message.message_id],
+                    )
+            # Wait out the ack timeout before the next attempt.
+            self.clock.advance_to(deadline)
+            wait *= backoff
+        detail = f" (last refusal: {last_refusal})" if last_refusal else ""
+        raise DeliveryTimeout(
+            f"no acknowledgement from {recipient!r} after "
+            f"{max_attempts} attempt(s){detail}"
+        )
 
     # -- event loop
 
     def step(self) -> bool:
-        """Deliver the next message; returns False when the queue is empty."""
+        """Process the next event; returns False when the queue is empty.
+
+        Link and node health are re-checked at delivery time: a partition
+        created (or a crash window opened) after ``send()`` drops the
+        in-flight message instead of delivering across the cut.
+        """
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
         self.clock.advance_to(event.due)
         message = event.message
+        if self.is_partitioned(message.sender, message.recipient, now=event.due):
+            self.stats.messages_dropped += 1
+            self.stats.dropped_by_partition += 1
+            return True
+        if self.is_crashed(message.recipient, now=event.due):
+            self.stats.messages_dropped += 1
+            self.stats.dropped_by_crash += 1
+            return True
         for tap in self._taps:
             tap.observe(message)
         self.stats.messages_delivered += 1
         self.stats.bytes_transferred += message.size_bytes
+        self._delivered_at[message.message_id] = event.due
         self._nodes[message.recipient].deliver(message)
         return True
 
     def run(self, max_steps: int = 1_000_000) -> int:
-        """Deliver until quiescent; returns the number of deliveries."""
+        """Process events until quiescent; returns the number processed."""
         steps = 0
         while steps < max_steps and self.step():
             steps += 1
         if steps >= max_steps and self._queue:
             raise DeliveryError("network did not quiesce (message storm?)")
+        return steps
+
+    def run_until(self, deadline: float, max_steps: int = 1_000_000) -> int:
+        """Process events due by *deadline*, then advance the clock to it."""
+        steps = 0
+        while (
+            steps < max_steps
+            and self._queue
+            and self._queue[0].due <= deadline
+            and self.step()
+        ):
+            steps += 1
+        if steps >= max_steps and self._queue and self._queue[0].due <= deadline:
+            raise DeliveryError("network did not quiesce (message storm?)")
+        self.clock.advance_to(deadline)
         return steps

@@ -96,6 +96,16 @@ class Platform:
             raise PlatformError(f"unknown party {name!r}")
         return self.parties[name]
 
+    # -- fault injection
+
+    def inject_faults(self, plan) -> None:
+        """Attach a :class:`repro.faults.FaultPlan` to the substrate.
+
+        Platform subclasses override this to also wire the plan into their
+        ordering principal (orderer, notary, sequencer).
+        """
+        self.network.fault_plan = plan
+
     # -- capability probing (Table 1)
 
     def probe(self, mechanism: Mechanism) -> ProbeResult:

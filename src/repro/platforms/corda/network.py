@@ -22,6 +22,7 @@ from typing import Callable
 from repro.common.errors import (
     ContractError,
     MembershipError,
+    OrderingError,
     PlatformError,
     ValidationError,
 )
@@ -67,8 +68,10 @@ class CordaNetwork(Platform):
         seed: str = "corda",
         validating_notary: bool = False,
         notary_operator: str = "third-party",
+        resilient_delivery: bool = False,
     ) -> None:
         super().__init__(seed=seed)
+        self.resilient_delivery = resilient_delivery
         self.network.add_node(NOTARY_NODE)
         self.notary = Notary(
             NOTARY_NODE,
@@ -101,6 +104,19 @@ class CordaNetwork(Platform):
         if name not in self.vaults:
             raise PlatformError(f"unknown party {name!r}")
         return self.vaults[name]
+
+    # -- fault injection
+
+    def inject_faults(self, plan) -> None:
+        super().inject_faults(plan)
+        self.notary.fault_plan = plan
+
+    def crash_ordering(self) -> None:
+        """Take the notary down (its spent-ref map is durable)."""
+        self.notary.crash()
+
+    def recover_ordering(self) -> None:
+        self.notary.recover()
 
     # -- CorDapps: contracts travel with the states that reference them
 
@@ -188,6 +204,10 @@ class CordaNetwork(Platform):
         legal_signers = {s for s in signers if s in self.parties}
         if initiator not in self.parties:
             raise MembershipError(f"initiator {initiator!r} is not onboarded")
+        if not self.notary.available():
+            # Fail before proposals go out or vaults change so the flow
+            # can be re-run cleanly after the notary recovers.
+            raise OrderingError(f"notary {NOTARY_NODE!r} is down")
 
         exposure = Exposure.of(
             identities=participants | legal_signers,
@@ -218,16 +238,23 @@ class CordaNetwork(Platform):
         if missing:
             raise ValidationError(f"missing signatures from {sorted(missing)}")
 
-        # 4. Notarise.  Non-validating notaries get a tear-off only.
+        # 4. Notarise.  Non-validating notaries get a tear-off only.  The
+        # notarise hop is the flow's critical round-trip, so it is the one
+        # that opts into resilient delivery.
+        notarise_hop = (
+            self.network.send_with_retry
+            if self.resilient_delivery
+            else self.network.send
+        )
         if self.notary.validating:
-            self.network.send(
+            notarise_hop(
                 initiator, NOTARY_NODE, "notarise-full",
                 {"tx_id": wire.tx_id}, exposure=exposure,
             )
             receipt = self.notary.notarise_full(stx)
         else:
             filtered = wire.filtered([ComponentGroup.INPUTS, ComponentGroup.NOTARY])
-            self.network.send(
+            notarise_hop(
                 initiator, NOTARY_NODE, "notarise-filtered",
                 {"tx_id": wire.tx_id}, exposure=Exposure(),
             )

@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.clock import SimClock
-from repro.common.errors import DoubleSpendError, ProofError, ValidationError
+from repro.common.errors import (
+    DoubleSpendError,
+    OrderingError,
+    ProofError,
+    ValidationError,
+)
 from repro.crypto.signatures import PrivateKey, Signature, SignatureScheme
 from repro.network.messages import Exposure
 from repro.network.simnet import Observer
@@ -59,11 +64,35 @@ class Notary:
         self.operator = operator
         self.contract_verifier = contract_verifier
         self.capacity_tps = capacity_tps
+        self.crashed = False
+        self.fault_plan = None
         self.observer = Observer(name)
         self.key = scheme.keygen_from_seed("notary:" + name)
         self._spent: dict[StateRef, str] = {}
         self._busy_until = 0.0
         self.total_notarised = 0
+
+    # -- crash / recovery (mirrors OrderingService)
+
+    def available(self, now: float | None = None) -> bool:
+        if self.crashed:
+            return False
+        if self.fault_plan is None:
+            return True
+        when = self.clock.now if now is None else now
+        return not self.fault_plan.orderer_down(self.name, when)
+
+    def _require_available(self) -> None:
+        if not self.available():
+            raise OrderingError(f"notary {self.name!r} is down")
+
+    def crash(self) -> None:
+        """Take the notary down.  The spent-ref map is durable: losing it
+        would let every consumed state be double-spent after recovery."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
 
     def _consume(self, refs: list[StateRef], tx_id: str) -> None:
         for ref in refs:
@@ -81,6 +110,7 @@ class Notary:
 
     def notarise_full(self, stx: SignedTransaction) -> NotarisationReceipt:
         """Validating path: full visibility, contract re-verification."""
+        self._require_available()
         if not self.validating:
             raise ValidationError(
                 f"notary {self.name!r} is non-validating; send a filtered tx"
@@ -108,6 +138,7 @@ class Notary:
 
     def notarise_filtered(self, ftx: FilteredTransaction) -> NotarisationReceipt:
         """Non-validating path: only input refs and notary name visible."""
+        self._require_available()
         if self.validating:
             raise ValidationError(
                 f"notary {self.name!r} is validating; send the full tx"

@@ -18,6 +18,7 @@ from repro.common.errors import (
     ContractError,
     EndorsementError,
     MembershipError,
+    OrderingError,
     PlatformError,
     ValidationError,
 )
@@ -85,8 +86,14 @@ class FabricNetwork(Platform):
 
     platform_name = "fabric"
 
-    def __init__(self, seed: str = "fabric", orderer_operator: str = "third-party") -> None:
+    def __init__(
+        self,
+        seed: str = "fabric",
+        orderer_operator: str = "third-party",
+        resilient_delivery: bool = False,
+    ) -> None:
         super().__init__(seed=seed)
+        self.resilient_delivery = resilient_delivery
         self.network.add_node(ORDERER_NODE)
         self.orderer = OrderingService(
             ORDERER_NODE,
@@ -126,6 +133,19 @@ class FabricNetwork(Platform):
         if name not in self.channels:
             raise PlatformError(f"unknown channel {name!r}")
         return self.channels[name]
+
+    # -- fault injection
+
+    def inject_faults(self, plan) -> None:
+        super().inject_faults(plan)
+        self.orderer.fault_plan = plan
+
+    def crash_ordering(self) -> None:
+        """Take the ordering service down (queues survive per durability)."""
+        self.orderer.crash()
+
+    def recover_ordering(self) -> None:
+        self.orderer.recover()
 
     # -- chaincode lifecycle
 
@@ -342,10 +362,19 @@ class FabricNetwork(Platform):
         rest are marked MVCC_READ_CONFLICT.
         """
         channel = self.channel(channel_name)
+        if not self.orderer.available():
+            # Fail before any state or queue mutation so a caller can
+            # retry the whole batch after recovery without double-apply.
+            raise OrderingError(f"ordering service {ORDERER_NODE!r} is down")
         for proposal in proposals:
             if proposal.channel_name != channel_name:
                 raise PlatformError("proposal belongs to a different channel")
-            self.network.send(
+            submit_hop = (
+                self.network.send_with_retry
+                if self.resilient_delivery
+                else self.network.send
+            )
+            submit_hop(
                 proposal.tx.submitter
                 if proposal.tx.submitter in self.parties
                 else sorted(channel.members)[0],
@@ -359,7 +388,7 @@ class FabricNetwork(Platform):
                 ),
             )
             self.orderer.submit(proposal.tx)
-        batch = self.orderer.cut_batch(channel_name)
+        batch = self.orderer.cut_batch(channel_name, force=True)
         return self._commit_block(channel, proposals, batch.released_at)
 
     def _commit_block(

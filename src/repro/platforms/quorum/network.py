@@ -23,6 +23,7 @@ from repro.common.errors import (
     ContractError,
     DoubleSpendError,
     MembershipError,
+    OrderingError,
     PlatformError,
     PrivacyError,
     ValidationError,
@@ -56,8 +57,14 @@ class QuorumNetwork(Platform):
 
     platform_name = "quorum"
 
-    def __init__(self, seed: str = "quorum", consensus_operator: str = "member") -> None:
+    def __init__(
+        self,
+        seed: str = "quorum",
+        consensus_operator: str = "member",
+        resilient_delivery: bool = False,
+    ) -> None:
         super().__init__(seed=seed)
+        self.resilient_delivery = resilient_delivery
         self.network.add_node(SEQUENCER_NODE)
         self.chain = Chain("quorum-public")
         self.public_states: dict[str, WorldState] = {}
@@ -86,6 +93,25 @@ class QuorumNetwork(Platform):
             # First onboarded member operates consensus in this deployment.
             self.sequencer.operator = name
         return party
+
+    # -- fault injection
+
+    def inject_faults(self, plan) -> None:
+        super().inject_faults(plan)
+        self.sequencer.fault_plan = plan
+
+    def crash_ordering(self) -> None:
+        """Take the consensus/sequencing layer down."""
+        self.sequencer.crash()
+
+    def recover_ordering(self) -> None:
+        self.sequencer.recover()
+
+    def _require_sequencer(self) -> None:
+        # Checked before any state mutation so a failed transaction can be
+        # retried after recovery without double-applying its writes.
+        if not self.sequencer.available():
+            raise OrderingError(f"consensus layer {SEQUENCER_NODE!r} is down")
 
     # -- contract deployment
 
@@ -150,6 +176,7 @@ class QuorumNetwork(Platform):
         """A normal Ethereum-style transaction: everyone sees everything."""
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
+        self._require_sequencer()
         return_values = {}
         view = None
         for node in sorted(self.parties):
@@ -174,7 +201,7 @@ class QuorumNetwork(Platform):
         )
         self.network.broadcast(sender, "public-tx", {"tx_id": tx.tx_id}, exposure=exposure)
         self.sequencer.submit(tx)
-        self.sequencer.cut_batch("quorum-public")
+        self.sequencer.cut_batch("quorum-public", force=True)
         self.chain.append([tx], self.clock.now)
         return QuorumTxResult(
             tx=tx, payload_hash=None,
@@ -197,16 +224,25 @@ class QuorumNetwork(Platform):
         """
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
+        self._require_sequencer()
         participants = sorted(set(private_for) | {sender})
         payload = {"contract": contract_id, "function": function, "args": args}
         payload_hash = self.managers[sender].distribute(
             payload, participants, self.managers
         )
         # The encrypted payload crosses the wire once per recipient; the
-        # ciphertext itself exposes nothing (empty exposure).
+        # ciphertext itself exposes nothing (empty exposure).  These sends
+        # precede every private-state mutation (distribution itself is
+        # idempotent), so a partitioned recipient fails the transaction
+        # cleanly and a retry after heal cannot double-apply.
+        payload_hop = (
+            self.network.send_with_retry
+            if self.resilient_delivery
+            else self.network.send
+        )
         for participant in participants:
             if participant != sender:
-                self.network.send(
+                payload_hop(
                     sender, participant, "private-payload",
                     {"hash": payload_hash}, exposure=Exposure(),
                 )
@@ -233,7 +269,7 @@ class QuorumNetwork(Platform):
         leak_exposure = Exposure.of(identities=set(participants))
         self.network.broadcast(sender, "private-tx", {"tx_id": tx.tx_id}, exposure=leak_exposure)
         self.sequencer.submit(tx)
-        self.sequencer.cut_batch("quorum-public")
+        self.sequencer.cut_batch("quorum-public", force=True)
         self.chain.append([tx], self.clock.now)
         return QuorumTxResult(
             tx=tx, payload_hash=payload_hash,

@@ -1,0 +1,235 @@
+"""Chaos scenarios: the letter-of-credit use case under injected faults.
+
+Section 3.4's ordering-service feasibility question only has content under
+faults, so each platform simulation runs the LoC lifecycle under every
+fault class — silent loss, latency spikes, partitions, node crashes, and
+ordering-service outages — asserting two properties:
+
+- **liveness**: the flow either commits after the fault heals, or fails
+  with a *typed* error (never a silent wrong result, never double-apply);
+- **privacy invariance**: faults must never widen any observer's
+  knowledge — the L1 leakage audit reports identical results with faults
+  on and off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DeliveryError, DeliveryTimeout, OrderingError
+from repro.core.audit import audit_all
+from repro.faults.plan import FaultPlan
+from repro.platforms.corda.network import NOTARY_NODE, CordaNetwork
+from repro.platforms.fabric.network import ORDERER_NODE, FabricNetwork
+from repro.platforms.quorum.network import SEQUENCER_NODE, QuorumNetwork
+from repro.usecases.letter_of_credit import LetterOfCreditWorkflow
+from repro.usecases.letter_of_credit_multi import (
+    CordaLetterOfCredit,
+    QuorumLetterOfCredit,
+)
+
+
+def fabric_workflow(**network_kwargs) -> LetterOfCreditWorkflow:
+    wf = LetterOfCreditWorkflow(
+        network=FabricNetwork(seed="chaos-fabric", **network_kwargs)
+    )
+    wf.setup(extra_network_members=("OutsiderCo",))
+    return wf
+
+
+def corda_workflow(**network_kwargs) -> CordaLetterOfCredit:
+    wf = CordaLetterOfCredit(
+        network=CordaNetwork(seed="chaos-corda", **network_kwargs)
+    )
+    wf.setup(extra_network_members=("OutsiderCo",))
+    return wf
+
+
+def quorum_workflow(**network_kwargs) -> QuorumLetterOfCredit:
+    wf = QuorumLetterOfCredit(
+        network=QuorumNetwork(seed="chaos-quorum", **network_kwargs)
+    )
+    wf.setup(extra_network_members=("OutsiderCo",))
+    return wf
+
+
+class TestFabricChaos:
+    def test_orderer_outage_then_recovery(self):
+        """Crash the orderer mid-lifecycle; work resumes after recovery."""
+        wf = fabric_workflow()
+        wf.apply_for_credit("LC-1", amount=1000, buyer_passport="P-1")
+        wf.network.crash_ordering()
+        with pytest.raises(OrderingError, match="down"):
+            wf.issue("LC-1")
+        wf.network.recover_ordering()
+        assert wf.issue("LC-1") == "issued"
+        wf.ship("LC-1")
+        assert wf.pay("LC-1") == "paid"
+
+    def test_partition_to_orderer_heals(self):
+        """The submitter-to-orderer link is cut, then healed."""
+        wf = fabric_workflow()
+        wf.network.network.partition("BuyerCo", ORDERER_NODE)
+        with pytest.raises(DeliveryError, match="partition"):
+            wf.apply_for_credit("LC-2", amount=1000, buyer_passport="P-2")
+        wf.network.network.heal("BuyerCo", ORDERER_NODE)
+        wf.apply_for_credit("LC-2", amount=1000, buyer_passport="P-2")
+        wf.issue("LC-2")
+        wf.ship("LC-2")
+        assert wf.status_of("LC-2", "SellerCo") == "shipped"
+
+    def test_node_crash_window_blocks_then_recovers(self):
+        """A party is down for a window; its actions resume afterwards."""
+        wf = fabric_workflow()
+        wf.apply_for_credit("LC-3", amount=1000, buyer_passport="P-3")
+        wf.issue("LC-3")
+        now = wf.network.clock.now
+        wf.network.inject_faults(
+            FaultPlan().crash_node("SellerCo", start=now, end=now + 1.0)
+        )
+        with pytest.raises(DeliveryError, match="down"):
+            wf.ship("LC-3")  # the seller's sends are refused while down
+        wf.network.clock.advance_to(now + 1.0)
+        assert wf.ship("LC-3") == "shipped"
+        assert wf.pay("LC-3") == "paid"
+
+    def test_resilient_delivery_rides_out_transient_partition(self):
+        """With resilient delivery on, a timed partition is retried away."""
+        wf = fabric_workflow(resilient_delivery=True)
+        wf.network.inject_faults(
+            FaultPlan().partition_between("BuyerCo", ORDERER_NODE, start=0.0, end=0.2)
+        )
+        loc = wf.apply_for_credit("LC-4", amount=1000, buyer_passport="P-4")
+        assert loc.status == "applied"
+        assert wf.network.network.stats.retries > 0
+
+    def test_resilient_delivery_surfaces_permanent_fault_as_typed_error(self):
+        wf = fabric_workflow(resilient_delivery=True)
+        wf.network.network.partition("BuyerCo", ORDERER_NODE)  # never heals
+        with pytest.raises(DeliveryTimeout):
+            wf.apply_for_credit("LC-5", amount=1000, buyer_passport="P-5")
+
+
+class TestCordaChaos:
+    def test_notary_outage_then_recovery(self):
+        wf = corda_workflow()
+        wf.apply_for_credit("LC-C1", amount=1000, buyer_passport="P-1")
+        wf.network.crash_ordering()
+        with pytest.raises(OrderingError, match="down"):
+            wf.advance("IssuingBank", "LC-C1")
+        wf.network.recover_ordering()
+        assert wf.advance("IssuingBank", "LC-C1") == "issued"
+        wf.advance("SellerCo", "LC-C1")
+        assert wf.advance("IssuingBank", "LC-C1") == "paid"
+
+    def test_partition_to_notary_heals(self):
+        wf = corda_workflow()
+        wf.network.network.partition("BuyerCo", NOTARY_NODE)
+        with pytest.raises(DeliveryError, match="partition"):
+            wf.apply_for_credit("LC-C2", amount=1000, buyer_passport="P-2")
+        wf.network.network.heal("BuyerCo", NOTARY_NODE)
+        assert wf.run_full_lifecycle("LC-C2") == "paid"
+
+    def test_latency_spike_does_not_block_commit(self):
+        wf = corda_workflow()
+        wf.network.inject_faults(FaultPlan().slow_all(10.0))
+        assert wf.run_full_lifecycle("LC-C3") == "paid"
+        wf.network.network.run()
+        assert wf.status_of("LC-C3", "SellerCo") == "paid"
+
+    def test_resilient_delivery_rides_out_transient_partition(self):
+        wf = corda_workflow(resilient_delivery=True)
+        wf.network.inject_faults(
+            FaultPlan().partition_between("BuyerCo", NOTARY_NODE, start=0.0, end=0.2)
+        )
+        result = wf.apply_for_credit("LC-C4", amount=1000, buyer_passport="P-4")
+        assert result.receipt is not None
+        assert wf.network.network.stats.retries > 0
+
+
+class TestQuorumChaos:
+    def test_sequencer_crash_fails_before_state_mutation(self):
+        """An outage mid-lifecycle cannot half-apply a transaction."""
+        wf = quorum_workflow()
+        wf.apply_for_credit("LC-Q1", amount=1000)
+        wf.network.crash_ordering()
+        with pytest.raises(OrderingError, match="down"):
+            wf.advance("IssuingBank", "LC-Q1")
+        # No participant's private state moved: the retry cannot double-apply.
+        for party in ("BuyerCo", "SellerCo", "IssuingBank"):
+            assert wf.status_of("LC-Q1", party) == "applied"
+        wf.network.recover_ordering()
+        wf.advance("IssuingBank", "LC-Q1")
+        for party in ("BuyerCo", "SellerCo", "IssuingBank"):
+            assert wf.status_of("LC-Q1", party) == "issued"
+
+    def test_partition_between_parties_heals(self):
+        wf = quorum_workflow()
+        wf.apply_for_credit("LC-Q2", amount=1000)
+        wf.network.network.partition("IssuingBank", "BuyerCo")
+        with pytest.raises(DeliveryError, match="partition"):
+            wf.advance("IssuingBank", "LC-Q2")
+        assert wf.status_of("LC-Q2", "BuyerCo") == "applied"  # consistent
+        wf.network.network.heal("IssuingBank", "BuyerCo")
+        wf.advance("IssuingBank", "LC-Q2")
+        assert wf.status_of("LC-Q2", "BuyerCo") == "issued"
+
+    def test_silent_loss_does_not_corrupt_lifecycle(self):
+        wf = quorum_workflow()
+        wf.network.network.drop_probability = 0.5
+        assert wf.run_full_lifecycle("LC-Q3") == "paid"
+        for party in ("BuyerCo", "SellerCo", "IssuingBank"):
+            assert wf.status_of("LC-Q3", party) == "paid"
+
+    def test_timed_sequencer_outage_heals_by_window_end(self):
+        wf = quorum_workflow()
+        wf.network.inject_faults(
+            FaultPlan().orderer_outage(SEQUENCER_NODE, start=0.0, end=1.0)
+        )
+        with pytest.raises(OrderingError, match="down"):
+            wf.apply_for_credit("LC-Q4", amount=1000)
+        wf.network.clock.advance_to(1.0)
+        wf.apply_for_credit("LC-Q4", amount=1000)
+        assert wf.status_of("LC-Q4", "SellerCo") == "applied"
+
+
+class TestPrivacyInvarianceUnderFaults:
+    """Faults must never widen what any observer learns (the L1 audit)."""
+
+    def test_audit_reports_identical_with_faults_on(self):
+        # Latency spikes everywhere, plus a partitioned and fully lossy
+        # link between two uninvolved orgs: disruptive, but none of it may
+        # change a single principal's accumulated knowledge.
+        plan = (
+            FaultPlan()
+            .slow_all(8.0)
+            .partition_between("OrgC", "OrgD")
+            .set_link_loss("OrgC", "OrgD", 1.0)
+        )
+        clean = audit_all(seed="chaos-audit")
+        faulted = audit_all(seed="chaos-audit", fault_plan=plan)
+        for clean_report, faulted_report in zip(clean, faulted):
+            assert clean_report.platform == faulted_report.platform
+            assert clean_report.summary_row() == faulted_report.summary_row()
+            for clean_k, faulted_k in zip(
+                clean_report.uninvolved, faulted_report.uninvolved
+            ):
+                assert faulted_k.identities == clean_k.identities
+                assert faulted_k.data_keys == clean_k.data_keys
+                assert faulted_k.code_ids == clean_k.code_ids
+            assert (
+                faulted_report.ordering_principal.identities
+                == clean_report.ordering_principal.identities
+            )
+            assert (
+                faulted_report.ordering_principal.data_keys
+                == clean_report.ordering_principal.data_keys
+            )
+
+    def test_uninvolved_orgs_stay_ignorant_under_faults(self):
+        plan = FaultPlan().slow_all(4.0)
+        for report in audit_all(seed="chaos-audit-2", fault_plan=plan):
+            if report.platform == "quorum":
+                continue  # participant-list broadcast is a platform leak
+            assert report.uninvolved_identity_leaks() == 0
+            assert report.uninvolved_data_leaks() == 0

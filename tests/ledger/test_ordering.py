@@ -93,7 +93,8 @@ class TestBatching:
 class TestServiceTimeModel:
     def test_release_time_reflects_capacity(self, clock):
         orderer = OrderingService(
-            "ord", clock, profile=OrdererProfile(capacity_tps=100)
+            "ord", clock,
+            profile=OrdererProfile(capacity_tps=100, batch_timeout=0.0),
         )
         for __ in range(10):
             orderer.submit(make_tx())
@@ -103,7 +104,8 @@ class TestServiceTimeModel:
     def test_shared_bottleneck_across_channels(self, clock):
         """A second channel's batch queues behind the first channel's work."""
         orderer = OrderingService(
-            "ord", clock, profile=OrdererProfile(capacity_tps=100)
+            "ord", clock,
+            profile=OrdererProfile(capacity_tps=100, batch_timeout=0.0),
         )
         for __ in range(10):
             orderer.submit(make_tx(channel="ch1"))
@@ -118,6 +120,118 @@ class TestServiceTimeModel:
             orderer.submit(make_tx())
         orderer.cut_batch("ch")
         assert orderer.total_ordered == 3
+
+
+class TestBatchTimeout:
+    """Regression: batch_timeout was defined but never read."""
+
+    def test_partial_batch_waits_for_timeout(self, clock):
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(
+                capacity_tps=100, max_batch_size=10, batch_timeout=0.5
+            ),
+        )
+        orderer.submit(make_tx())  # 1 of 10: a partial batch
+        batch = orderer.cut_batch("ch")
+        # Released only once the oldest tx has waited batch_timeout.
+        assert batch.released_at == pytest.approx(0.5 + 1 / 100)
+
+    def test_full_batch_releases_immediately(self, clock):
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(
+                capacity_tps=100, max_batch_size=2, batch_timeout=5.0
+            ),
+        )
+        orderer.submit(make_tx(key="a"))
+        orderer.submit(make_tx(key="b"))
+        batch = orderer.cut_batch("ch")
+        assert batch.released_at == pytest.approx(2 / 100)  # no timeout wait
+
+    def test_force_cut_skips_timeout(self, clock):
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(
+                capacity_tps=100, max_batch_size=10, batch_timeout=5.0
+            ),
+        )
+        orderer.submit(make_tx())
+        batch = orderer.cut_batch("ch", force=True)
+        assert batch.released_at == pytest.approx(1 / 100)
+
+    def test_timeout_already_expired_releases_now(self, clock):
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(
+                capacity_tps=100, max_batch_size=10, batch_timeout=0.5
+            ),
+        )
+        orderer.submit(make_tx())
+        clock.advance(2.0)  # the tx has waited far past the timeout
+        batch = orderer.cut_batch("ch")
+        assert batch.released_at == pytest.approx(0.5 + 1 / 100)
+
+    def test_ready_to_cut_tracks_fill_and_age(self, clock):
+        orderer = OrderingService(
+            "ord", clock,
+            profile=OrdererProfile(max_batch_size=2, batch_timeout=0.5),
+        )
+        assert not orderer.ready_to_cut("ch")  # empty
+        orderer.submit(make_tx(key="a"))
+        assert not orderer.ready_to_cut("ch")  # partial, young
+        clock.advance(0.5)
+        assert orderer.ready_to_cut("ch")  # partial, but timeout expired
+        orderer.submit(make_tx(key="b"))
+        assert orderer.ready_to_cut("ch")  # full
+
+    def test_oldest_wait(self, clock):
+        orderer = OrderingService("ord", clock)
+        assert orderer.oldest_wait("ch") == 0.0
+        orderer.submit(make_tx())
+        clock.advance(0.3)
+        assert orderer.oldest_wait("ch") == pytest.approx(0.3)
+
+
+class TestCrashRecovery:
+    def test_crashed_orderer_refuses_work(self, orderer):
+        orderer.submit(make_tx())
+        orderer.crash()
+        with pytest.raises(OrderingError, match="down"):
+            orderer.submit(make_tx())
+        with pytest.raises(OrderingError, match="down"):
+            orderer.cut_batch("ch")
+
+    def test_durable_queue_survives_crash(self, clock):
+        orderer = OrderingService("ord", clock, durable=True)
+        orderer.submit(make_tx(key="a"))
+        orderer.submit(make_tx(key="b"))
+        orderer.crash()
+        orderer.recover()
+        assert orderer.pending_count("ch") == 2
+        batch = orderer.cut_batch("ch", force=True)
+        assert len(batch.transactions) == 2
+
+    def test_non_durable_queue_is_lost(self, clock):
+        orderer = OrderingService("ord", clock, durable=False)
+        orderer.submit(make_tx())
+        orderer.crash()
+        orderer.recover()
+        assert orderer.pending_count("ch") == 0
+        with pytest.raises(OrderingError, match="no pending"):
+            orderer.cut_batch("ch", force=True)
+
+    def test_fault_plan_outage_window(self, clock):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan().orderer_outage("ord", start=0.0, end=1.0)
+        orderer = OrderingService("ord", clock, fault_plan=plan)
+        assert not orderer.available()
+        with pytest.raises(OrderingError, match="down"):
+            orderer.submit(make_tx())
+        clock.advance_to(1.0)
+        assert orderer.available()
+        orderer.submit(make_tx())  # back up
 
 
 class TestOperators:

@@ -145,6 +145,69 @@ class TestFaults:
         assert committed[0].tx_id == tx.tx_id
 
 
+class TestRecoveryResetsVolatileState:
+    """Regression: recover() must not rejoin a node with stale vote state."""
+
+    def test_recover_clears_voted_for_and_role(self, cluster):
+        cluster.elect("raft-org1")
+        assert cluster.node("raft-org2").voted_for == "raft-org1"
+        cluster.crash("org2")
+        cluster.recover("org2")
+        node = cluster.node("raft-org2")
+        assert node.voted_for is None
+        assert node.role is Role.FOLLOWER
+
+    def test_recover_keeps_persisted_log_and_term(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        term = cluster.node("raft-org2").current_term
+        cluster.crash("org2")
+        cluster.recover("org2")
+        node = cluster.node("raft-org2")
+        assert len(node.log) == 1  # the log is persisted state
+        assert node.current_term == term
+
+    def test_stale_self_vote_no_longer_blocks_election(self):
+        """The liveness failure the stale vote causes.
+
+        A node that campaigned and lost holds a self-vote in its current
+        term.  If that vote survives a crash/recover cycle, the node
+        refuses to vote for a same-term candidate after rejoining — and
+        a two-node quorum that includes it cannot elect anyone.
+        """
+        cluster = RaftCluster(["a", "b", "c"])
+        cluster.elect("raft-a")
+        cluster.submit(make_tx(1))
+        # c falls behind, campaigns anyway, and loses — leaving it with a
+        # self-vote in term 2.
+        cluster.node("raft-c").log.clear()
+        with pytest.raises(OrderingError, match="majority"):
+            cluster.elect("raft-c")
+        assert cluster.node("raft-c").voted_for == "raft-c"
+        cluster.crash("c")
+        cluster.recover("c")
+        # The old leader dies; the quorum is now exactly {b, c}, so b needs
+        # c's vote.  b campaigns in the same term c already voted in.
+        cluster.crash("a")
+        assert cluster.elect("raft-b") == "raft-b"
+        cluster.submit(make_tx(2))
+        assert cluster.logs_consistent()
+
+    def test_crash_recover_reelect_cycle(self, cluster):
+        """Full cycle: leader crashes, recovers, and can be re-elected."""
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        cluster.crash("org1")
+        cluster.elect("raft-org2")
+        cluster.submit(make_tx(2))
+        cluster.recover("org1")
+        cluster.submit(make_tx(3))  # recovered node catches up as follower
+        assert cluster.elect("raft-org1") == "raft-org1"
+        cluster.submit(make_tx(4))
+        assert len(cluster.committed_transactions()) == 4
+        assert cluster.logs_consistent()
+
+
 class TestVisibility:
     def test_every_replica_operator_sees_contents(self, cluster):
         """Replicated ordering multiplies who sees the data (S3.4)."""

@@ -1,0 +1,128 @@
+"""FaultPlan: windows, builders, and the pure queries the substrate uses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.faults.plan import FaultPlan, Window
+
+
+class TestWindow:
+    def test_default_window_is_forever(self):
+        window = Window()
+        assert window.contains(0.0)
+        assert window.contains(1e9)
+
+    def test_half_open_semantics(self):
+        window = Window(1.0, 2.0)
+        assert not window.contains(0.999)
+        assert window.contains(1.0)
+        assert window.contains(1.999)
+        assert not window.contains(2.0)  # heals exactly at end
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(NetworkError):
+            Window(-1.0, 2.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(NetworkError):
+            Window(3.0, 1.0)
+
+
+class TestLoss:
+    def test_default_loss_applies_everywhere(self):
+        plan = FaultPlan().set_default_loss(0.25)
+        assert plan.loss_probability("A", "B") == 0.25
+        assert plan.loss_probability("X", "Y") == 0.25
+
+    def test_link_loss_overrides_default(self):
+        plan = FaultPlan().set_default_loss(0.1).set_link_loss("A", "B", 0.9)
+        assert plan.loss_probability("A", "B") == 0.9
+        assert plan.loss_probability("B", "A") == 0.9  # symmetric
+        assert plan.loss_probability("A", "C") == 0.1
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(NetworkError):
+            FaultPlan().set_default_loss(1.5)
+        with pytest.raises(NetworkError):
+            FaultPlan().set_link_loss("A", "B", -0.1)
+
+
+class TestLatency:
+    def test_no_faults_means_unit_multiplier(self):
+        assert FaultPlan().latency_multiplier("A", "B", 0.0) == 1.0
+
+    def test_link_and_global_multipliers_compose(self):
+        plan = FaultPlan().slow_link("A", "B", 2.0).slow_all(3.0)
+        assert plan.latency_multiplier("A", "B", 0.0) == 6.0
+        assert plan.latency_multiplier("A", "C", 0.0) == 3.0
+
+    def test_multiplier_respects_window(self):
+        plan = FaultPlan().slow_all(8.0, start=1.0, end=2.0)
+        assert plan.latency_multiplier("A", "B", 0.5) == 1.0
+        assert plan.latency_multiplier("A", "B", 1.5) == 8.0
+        assert plan.latency_multiplier("A", "B", 2.0) == 1.0
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(NetworkError):
+            FaultPlan().slow_all(0.0)
+        with pytest.raises(NetworkError):
+            FaultPlan().slow_link("A", "B", -1.0)
+
+
+class TestPartitionsAndCrashes:
+    def test_partition_window(self):
+        plan = FaultPlan().partition_between("A", "B", start=1.0, end=3.0)
+        assert not plan.is_partitioned("A", "B", 0.5)
+        assert plan.is_partitioned("A", "B", 2.0)
+        assert plan.is_partitioned("B", "A", 2.0)  # symmetric
+        assert not plan.is_partitioned("A", "B", 3.0)
+        assert not plan.is_partitioned("A", "C", 2.0)
+
+    def test_crash_windows_accumulate(self):
+        plan = (
+            FaultPlan()
+            .crash_node("A", start=0.0, end=1.0)
+            .crash_node("A", start=5.0, end=6.0)
+        )
+        assert plan.is_crashed("A", 0.5)
+        assert not plan.is_crashed("A", 3.0)
+        assert plan.is_crashed("A", 5.5)
+        assert not plan.is_crashed("B", 0.5)
+
+    def test_orderer_outage_is_separate_from_crash(self):
+        plan = FaultPlan().orderer_outage("fabric-orderer", start=0.0, end=1.0)
+        assert plan.orderer_down("fabric-orderer", 0.5)
+        assert not plan.is_crashed("fabric-orderer", 0.5)
+        assert not plan.orderer_down("fabric-orderer", 1.0)
+
+    def test_open_ended_crash_never_recovers(self):
+        plan = FaultPlan().crash_node("A", start=2.0)
+        assert not plan.is_crashed("A", 1.0)
+        assert plan.is_crashed("A", 1e12)
+
+
+class TestDescribe:
+    def test_describe_lists_every_fault(self):
+        plan = (
+            FaultPlan()
+            .set_default_loss(0.1)
+            .set_link_loss("A", "B", 0.5)
+            .slow_all(2.0)
+            .partition_between("A", "C", start=1.0, end=2.0)
+            .crash_node("D", start=0.0, end=1.0)
+            .orderer_outage("orderer", start=3.0)
+        )
+        text = plan.describe()
+        assert "default_loss=0.1" in text
+        assert "loss A-B: 0.5" in text
+        assert "latency x2.0 on all links" in text
+        assert "partition A-C [1.0, 2.0)" in text
+        assert "crash D [0.0, 1.0)" in text
+        assert "orderer outage orderer [3.0, inf)" in text
+
+    def test_builders_chain(self):
+        plan = FaultPlan()
+        assert plan.set_default_loss(0.0) is plan
+        assert plan.partition_between("A", "B") is plan

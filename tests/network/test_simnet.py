@@ -5,8 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.common.clock import SimClock
-from repro.common.errors import DeliveryError
+from repro.common.errors import DeliveryError, DeliveryTimeout
 from repro.common.rng import DeterministicRNG
+from repro.faults.plan import FaultPlan
 from repro.network.messages import Exposure
 from repro.network.simnet import LatencyModel, Observer, SimNetwork
 
@@ -166,6 +167,241 @@ class TestFaults:
         net.run()
         delivered = len(net.node("B").inbox)
         assert 50 < delivered < 150  # loose bounds around 100
+
+
+class TestPartitionTiming:
+    """Regression: partitions must cut traffic already in flight."""
+
+    def test_partition_after_send_drops_in_flight_message(self, net):
+        net.send("A", "B", "ping", {})
+        net.partition("A", "B")  # created while the message is in flight
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert net.stats.messages_dropped == 1
+        assert net.stats.dropped_by_partition == 1
+        assert net.stats.messages_delivered == 0
+
+    def test_partition_drop_still_advances_clock(self, net):
+        before = net.clock.now
+        net.send("A", "B", "ping", {})
+        net.partition("A", "B")
+        assert net.step() is True  # the event is consumed, not delivered
+        assert net.clock.now > before
+
+    def test_heal_then_resend_delivers(self, net):
+        net.send("A", "B", "ping", {})
+        net.partition("A", "B")
+        net.run()  # in-flight copy dies on the cut link
+        net.heal("A", "B")
+        net.send("A", "B", "ping", {})
+        net.run()
+        assert len(net.node("B").inbox) == 1
+
+    def test_drop_vs_partition_stats_are_distinct(self):
+        net = SimNetwork(rng=DeterministicRNG("attrib"), drop_probability=1.0)
+        net.add_node("A")
+        net.add_node("B")
+        net.send("A", "B", "lost", {})  # probabilistic loss at send time
+        net.drop_probability = 0.0
+        net.send("A", "B", "cut", {})
+        net.partition("A", "B")  # partition drop at delivery time
+        net.run()
+        assert net.stats.dropped_by_loss == 1
+        assert net.stats.dropped_by_partition == 1
+        assert net.stats.messages_dropped == 2
+
+    def test_timed_partition_heals_by_window_end(self, net):
+        net.fault_plan = FaultPlan().partition_between("A", "B", start=0.0, end=1.0)
+        with pytest.raises(DeliveryError, match="partition"):
+            net.send("A", "B", "ping", {})
+        net.clock.advance_to(1.0)
+        net.send("A", "B", "ping", {})
+        net.run()
+        assert len(net.node("B").inbox) == 1
+
+    def test_message_sent_before_window_drops_inside_it(self, net):
+        # Due time falls inside the partition window even though the send
+        # happened before the window opened.
+        net.latency = LatencyModel(base=0.5, jitter=0.0)
+        net.fault_plan = FaultPlan().partition_between("A", "B", start=0.1, end=2.0)
+        net.send("A", "B", "ping", {})  # sent at t=0, due at t=0.5
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert net.stats.dropped_by_partition == 1
+
+
+class TestBroadcastAtomicity:
+    """Regression: a bad target mid-list must not leave a partial broadcast."""
+
+    def test_unknown_target_queues_nothing(self, net):
+        with pytest.raises(DeliveryError, match="unknown recipient"):
+            net.broadcast("A", "announce", "x", recipients=["B", "Z", "C"])
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert len(net.node("C").inbox) == 0
+        assert net.stats.messages_sent == 0
+
+    def test_partitioned_target_queues_nothing(self, net):
+        net.partition("A", "C")
+        with pytest.raises(DeliveryError, match="partition"):
+            net.broadcast("A", "announce", "x")
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert net.stats.messages_sent == 0
+
+    def test_crashed_target_queues_nothing(self, net):
+        net.fault_plan = FaultPlan().crash_node("C", start=0.0, end=1.0)
+        with pytest.raises(DeliveryError, match="down"):
+            net.broadcast("A", "announce", "x")
+        assert len(net.node("B").inbox) == 0
+
+
+class TestPayloadSizing:
+    """Regression: unsupported values must not crash send."""
+
+    def test_nan_payload_does_not_crash(self, net):
+        # canonical_bytes raises ValueError on NaN (allow_nan=False);
+        # _payload_size must fall back to the opaque-envelope size.
+        message = net.send("A", "B", "ping", {"rate": float("nan")})
+        assert message.size_bytes == 256
+        net.run()
+        assert len(net.node("B").inbox) == 1
+
+    def test_unserializable_object_falls_back(self, net):
+        message = net.send("A", "B", "ping", object())
+        assert message.size_bytes == 256
+
+
+class TestResilientDelivery:
+    def test_first_attempt_ack(self, net):
+        receipt = net.send_with_retry("A", "B", "ping", {"x": 1})
+        assert receipt.delivered
+        assert receipt.attempts == 1
+        assert receipt.delivered_at is not None
+        assert net.was_delivered(receipt.message)
+        assert net.stats.retries == 0
+
+    def test_retry_succeeds_after_partition_heals(self, net):
+        # Link is cut for the first attempt's whole timeout window, then
+        # heals; the second attempt must get through.
+        net.fault_plan = FaultPlan().partition_between("A", "B", start=0.0, end=0.2)
+        receipt = net.send_with_retry(
+            "A", "B", "ping", {}, timeout=0.25, max_attempts=3
+        )
+        assert receipt.delivered
+        assert receipt.attempts == 2
+        assert net.stats.retries == 1
+
+    def test_exhausted_attempts_raise_delivery_timeout(self, net):
+        net.partition("A", "B")
+        with pytest.raises(DeliveryTimeout, match="no acknowledgement"):
+            net.send_with_retry("A", "B", "ping", {}, timeout=0.1, max_attempts=3)
+        assert net.stats.retries == 2
+
+    def test_silent_loss_surfaces_as_timeout(self):
+        net = SimNetwork(rng=DeterministicRNG("lossy"), drop_probability=1.0)
+        net.add_node("A")
+        net.add_node("B")
+        with pytest.raises(DeliveryTimeout):
+            net.send_with_retry("A", "B", "ping", {}, timeout=0.1, max_attempts=2)
+
+    def test_unknown_recipient_fails_fast(self, net):
+        before = net.clock.now
+        with pytest.raises(DeliveryError, match="unknown recipient"):
+            net.send_with_retry("A", "Z", "ping", {})
+        assert net.clock.now == before  # no timeout was burned
+
+    def test_backoff_widens_attempt_windows(self, net):
+        net.partition("A", "B")
+        with pytest.raises(DeliveryTimeout):
+            net.send_with_retry(
+                "A", "B", "ping", {}, timeout=0.1, max_attempts=3, backoff=2.0
+            )
+        # 0.1 + 0.2 + 0.4 of simulated waiting.
+        assert net.clock.now == pytest.approx(0.7)
+
+    def test_retry_does_not_duplicate_delivery(self, net):
+        receipt = net.send_with_retry("A", "B", "ping", {}, max_attempts=3)
+        net.run()
+        assert receipt.attempts == 1
+        assert len(net.node("B").inbox) == 1
+
+
+class TestFaultPlanThreading:
+    def test_link_loss_drops_and_attributes(self):
+        plan = FaultPlan().set_link_loss("A", "B", 1.0)
+        net = SimNetwork(rng=DeterministicRNG("linkloss"), fault_plan=plan)
+        net.add_node("A")
+        net.add_node("B")
+        net.add_node("C")
+        net.send("A", "B", "ping", {})
+        net.send("A", "C", "ping", {})  # unaffected link
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert len(net.node("C").inbox) == 1
+        assert net.stats.dropped_by_loss == 1
+
+    def test_latency_multiplier_slows_link(self):
+        plan = FaultPlan().slow_link("A", "B", 10.0)
+        net = SimNetwork(
+            rng=DeterministicRNG("slow"),
+            latency=LatencyModel(base=0.01, jitter=0.0),
+            fault_plan=plan,
+        )
+        net.add_node("A")
+        net.add_node("B")
+        net.send("A", "B", "ping", {})
+        net.run()
+        assert net.clock.now == pytest.approx(0.1)
+
+    def test_crash_window_refuses_sends(self, net):
+        net.fault_plan = FaultPlan().crash_node("B", start=0.0, end=1.0)
+        with pytest.raises(DeliveryError, match="down"):
+            net.send("A", "B", "ping", {})
+        with pytest.raises(DeliveryError, match="down"):
+            net.send("B", "A", "ping", {})
+        net.clock.advance_to(1.0)
+        net.send("A", "B", "ping", {})  # recovered
+        net.run()
+        assert len(net.node("B").inbox) == 1
+
+    def test_crash_at_delivery_time_drops_in_flight(self, net):
+        net.latency = LatencyModel(base=0.5, jitter=0.0)
+        net.fault_plan = FaultPlan().crash_node("B", start=0.1, end=2.0)
+        net.send("A", "B", "ping", {})  # sent at t=0 while B is still up
+        net.run()
+        assert len(net.node("B").inbox) == 0
+        assert net.stats.dropped_by_crash == 1
+
+    def test_zero_loss_plan_keeps_rng_stream_identical(self):
+        # Privacy-invariance prerequisite: attaching a plan with no loss
+        # must not consume extra RNG draws, so faulted and clean runs with
+        # the same seed see identical latencies.
+        def deliveries(plan):
+            net = SimNetwork(rng=DeterministicRNG("stream"), fault_plan=plan)
+            net.add_node("A")
+            net.add_node("B")
+            times = []
+            for __ in range(5):
+                net.send("A", "B", "ping", {})
+                net.run()
+                times.append(net.clock.now)
+            return times
+
+        assert deliveries(None) == deliveries(FaultPlan())
+
+
+class TestRunUntil:
+    def test_delivers_only_due_events(self, net):
+        net.latency = LatencyModel(base=0.01, jitter=0.0)
+        net.send("A", "B", "early", 1)  # due at 0.01
+        net.latency = LatencyModel(base=2.0, jitter=0.0)
+        net.send("A", "B", "late", 2)  # due at 2.0
+        net.run_until(0.5)
+        assert [m.kind for m in net.node("B").inbox] == ["early"]
+        assert net.clock.now == pytest.approx(0.5)
+        net.run()
+        assert [m.kind for m in net.node("B").inbox] == ["early", "late"]
 
 
 class TestStats:
