@@ -4,10 +4,16 @@ Every experiment writes its regenerated table/figure to
 ``benchmarks/results/<experiment>.txt`` so the artifacts survive the run,
 and asserts the *shape* the paper reports (who wins, by what factor,
 where behaviour flips) inside the benchmark itself.
+
+Experiments that also pass ``data=`` get a machine-readable twin at
+``benchmarks/results/<experiment>.json`` — the cross-PR trajectory
+tooling and ``repro metrics --diff`` consume those instead of parsing
+the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -21,9 +27,16 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def write_result(name: str, content: str) -> None:
-    """Persist a regenerated table/figure and echo it to stdout."""
+def write_result(name: str, content: str, data: dict | list | None = None) -> None:
+    """Persist a regenerated table/figure and echo it to stdout.
+
+    With *data*, also write ``<name>.json`` holding the same experiment's
+    structured numbers (sorted keys, so reruns are byte-identical).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(content)
+    if data is not None:
+        json_path = RESULTS_DIR / f"{name}.json"
+        json_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"\n[{name}] written to {path}\n{content}")

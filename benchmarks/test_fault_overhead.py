@@ -93,6 +93,14 @@ def test_overhead_ratio_report():
         f"  plain send():          {plain * 1e3:8.2f} ms/run\n"
         f"  send_with_retry():     {resilient * 1e3:8.2f} ms/run\n"
         f"  overhead ratio:        {ratio:8.2f}x",
+        data={
+            "experiment": "fi1_fault_overhead",
+            "messages_per_run": MESSAGES,
+            "runs": 5,
+            "plain_ms_per_run": plain * 1e3,
+            "resilient_ms_per_run": resilient * 1e3,
+            "overhead_ratio": ratio,
+        },
     )
     # Ack tracking + deadline bookkeeping cost a small constant factor,
     # not an order of magnitude.  Generous bound to stay robust on slow CI.

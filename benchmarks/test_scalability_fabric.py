@@ -97,7 +97,17 @@ def test_channel_scaleout_series(benchmark):
         lines.append(
             f"{channels:>8d} {row['shared']:>16.0f} {row['dedicated']:>22.0f}"
         )
-    write_result("s1_fabric_channels", "\n".join(lines))
+    write_result(
+        "s1_fabric_channels",
+        "\n".join(lines),
+        data={
+            "experiment": "s1_fabric_channels",
+            "orderer_capacity_tps": ORDERER_TPS,
+            "series": {
+                str(channels): row for channels, row in series.items()
+            },
+        },
+    )
     assert series[8]["dedicated"] / series[8]["shared"] == pytest.approx(8, rel=0.1)
 
 

@@ -15,5 +15,10 @@ echo "== chaos suite (fault injection + liveness/privacy invariants) =="
 python -m pytest -x -q tests/integration/test_chaos.py tests/network/test_faults.py
 
 echo
+echo "== telemetry gate (leakage cross-check + strict lint of repro.telemetry) =="
+python -m pytest -x -q tests/telemetry/test_leakage_crosscheck.py
+python -m repro lint --strict src/repro/telemetry
+
+echo
 echo "== strict self-lint (src/repro + examples) =="
 python -m repro lint --self --strict

@@ -11,6 +11,10 @@ Subcommands expose the paper's artifacts without writing any code:
 - ``repro audit``    — run the leakage audit across the three platforms.
 - ``repro lint``     — static privacy-leakage / determinism analysis over
   contract, platform, and use-case code (``--self`` lints this repo).
+- ``repro trace``    — run a traced letter-of-credit lifecycle on one
+  platform and render the simulated-time span tree.
+- ``repro metrics``  — the metrics snapshot of such a run, or a diff of
+  two saved snapshots.
 
 Run ``python -m repro <subcommand> --help`` for details.
 """
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.decision import decide_data_confidentiality
@@ -150,6 +155,61 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _traced_lifecycle(platform: str):
+    """Run one letter-of-credit lifecycle on *platform*; return its
+    telemetry bundle (spans + metrics + events, all simulated-time)."""
+    if platform == "fabric":
+        from repro.usecases.letter_of_credit import LetterOfCreditWorkflow
+
+        workflow = LetterOfCreditWorkflow()
+    elif platform == "corda":
+        from repro.usecases.letter_of_credit_multi import CordaLetterOfCredit
+
+        workflow = CordaLetterOfCredit()
+    else:
+        from repro.usecases.letter_of_credit_multi import QuorumLetterOfCredit
+
+        workflow = QuorumLetterOfCredit()
+    workflow.setup()
+    workflow.run_full_lifecycle()
+    workflow.network.network.run()  # drain in-flight messages -> transit spans
+    return workflow.network.telemetry
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_trace_tree, trace_json
+
+    telemetry = _traced_lifecycle(args.platform)
+    if args.json:
+        print(trace_json(telemetry.tracer))
+    else:
+        print(render_trace_tree(telemetry.tracer))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_snapshots, render_diff
+
+    if args.diff:
+        before_path, after_path = args.diff
+        with open(before_path, encoding="utf-8") as handle:
+            before = json.load(handle)
+        with open(after_path, encoding="utf-8") as handle:
+            after = json.load(handle)
+        delta = diff_snapshots(before, after)
+        if args.json:
+            print(json.dumps(delta, indent=2, sort_keys=True))
+        else:
+            print(render_diff(delta))
+        return 0
+    telemetry = _traced_lifecycle(args.platform)
+    if args.json:
+        print(json.dumps(telemetry.metrics.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(telemetry.metrics.render_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +282,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(func=_cmd_lint)
 
+    trace = sub.add_parser(
+        "trace",
+        help="span tree of a traced letter-of-credit run",
+        description="Runs one letter-of-credit lifecycle on the chosen "
+        "platform simulation and renders the resulting span tree, with "
+        "every duration in simulated time.  Deterministic: the same "
+        "platform always yields byte-identical output.",
+    )
+    trace.add_argument(
+        "--platform", choices=("fabric", "corda", "quorum"), default="fabric"
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit spans as JSON instead"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="metrics snapshot of a traced run, or a diff of two snapshots",
+        description="Without --diff: runs one letter-of-credit lifecycle "
+        "and prints the metrics snapshot (counters, gauges, histograms). "
+        "With --diff BEFORE.json AFTER.json: prints per-metric deltas "
+        "between two saved snapshots.",
+    )
+    metrics.add_argument(
+        "--platform", choices=("fabric", "corda", "quorum"), default="fabric"
+    )
+    metrics.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="diff two snapshot JSON files instead of running a workload",
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
     return parser
 
 
@@ -229,7 +325,15 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe early;
+        # that is not an error.  Detach stdout so interpreter shutdown
+        # doesn't raise again while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from repro.execution.contracts import (
 )
 from repro.network.messages import Exposure
 from repro.network.simnet import Observer
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -62,9 +63,22 @@ class ExecutionResult:
 
 
 class ExecutionEngine:
-    """Common interface; subclasses define where code actually runs."""
+    """Common interface; subclasses define where code actually runs.
+
+    Every engine carries a :class:`~repro.telemetry.Telemetry` bundle
+    (the owning platform's, or a private one when standalone) and counts
+    invocations and mechanism-specific crypto costs on it, so the
+    ``repro metrics`` snapshot can attribute execution cost to the
+    Section 3.3 mechanism that incurred it.
+    """
 
     name = "abstract"
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self.telemetry = telemetry or Telemetry()
+
+    def _count_invocation(self, contract_id: str) -> None:
+        self.telemetry.metrics.counter("exec.invocations", engine=self.name).inc()
 
     def properties(self) -> EngineProperties:
         raise NotImplementedError
@@ -94,7 +108,12 @@ class LedgerEngine(ExecutionEngine):
     name = "ledger"
     platform_language = "python-chaincode"
 
-    def __init__(self, registry: ContractRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: ContractRegistry | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        super().__init__(telemetry=telemetry)
         self.registry = registry or ContractRegistry(enforce_consistency=True)
         self.admin_observers: dict[str, Observer] = {}
 
@@ -128,6 +147,7 @@ class LedgerEngine(ExecutionEngine):
         versions: dict[str, int],
     ) -> ExecutionResult:
         contract = self.registry.lookup(node, contract_id)
+        self._count_invocation(contract_id)
         view = StateView(state, versions)
         value = contract.invoke(function, view, args)
         # The node admin sees the code identity and all cleartext keys.
@@ -159,7 +179,8 @@ class OffChainEngine(ExecutionEngine):
 
     name = "offchain"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        super().__init__(telemetry=telemetry)
         self.registry = ContractRegistry(enforce_consistency=False)
         self.admin_observers: dict[str, Observer] = {}
 
@@ -190,6 +211,7 @@ class OffChainEngine(ExecutionEngine):
         versions: dict[str, int],
     ) -> ExecutionResult:
         contract = self.registry.lookup(node, contract_id)
+        self._count_invocation(contract_id)
         view = StateView(state, versions)
         value = contract.invoke(function, view, args)
         self._admin_observer(node).observe_exposure(
@@ -227,7 +249,12 @@ class TEEEngine(ExecutionEngine):
 
     name = "tee"
 
-    def __init__(self, manufacturer: Manufacturer | None = None) -> None:
+    def __init__(
+        self,
+        manufacturer: Manufacturer | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        super().__init__(telemetry=telemetry)
         self.manufacturer = manufacturer or Manufacturer()
         self._enclaves: dict[tuple[str, str], Enclave] = {}
         self._measurements: dict[tuple[str, str], bytes] = {}
@@ -284,6 +311,10 @@ class TEEEngine(ExecutionEngine):
             raise ContractError(
                 f"no enclave for contract {contract_id!r} on node {node!r}"
             )
+        self._count_invocation(contract_id)
+        crypto = self.telemetry.metrics
+        crypto.counter("crypto.ops", mechanism="tee-session-key").inc()
+        crypto.counter("crypto.ops", mechanism="tee-attestation").inc()
         enclave = self._enclaves[key]
         session = enclave.establish_session_key(self._rng.fork(f"s{self._nonce_counter}"))
         self._nonce_counter += 1

@@ -39,6 +39,7 @@ from repro.faults.plan import FaultPlan
 from repro.ledger.transaction import Transaction
 from repro.network.messages import Exposure
 from repro.network.simnet import Observer
+from repro.telemetry import Telemetry
 
 
 class OrdererVisibility(enum.Enum):
@@ -84,6 +85,7 @@ class OrderingService:
         profile: OrdererProfile | None = None,
         durable: bool = True,
         fault_plan: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.name = name
         self.clock = clock
@@ -92,6 +94,7 @@ class OrderingService:
         self.profile = profile or OrdererProfile()
         self.durable = durable
         self.fault_plan = fault_plan
+        self.telemetry = telemetry or Telemetry(clock=clock)
         self.crashed = False
         self.observer = Observer(name)
         self._pending: dict[str, list[tuple[Transaction, float]]] = {}
@@ -119,10 +122,15 @@ class OrderingService:
         self.crashed = True
         if not self.durable:
             self._pending.clear()
+        self.telemetry.events.emit(
+            "ordering.crash", service=self.name, durable=self.durable
+        )
+        self.telemetry.metrics.counter("ordering.crashes").inc()
 
     def recover(self) -> None:
         """Bring the service back.  Durable queues resume where they were."""
         self.crashed = False
+        self.telemetry.events.emit("ordering.recover", service=self.name)
 
     def _record_visibility(self, tx: Transaction) -> None:
         if self.visibility is OrdererVisibility.FULL:
@@ -146,6 +154,8 @@ class OrderingService:
         self._record_visibility(tx)
         arrival = self.clock.now
         self._pending.setdefault(tx.channel, []).append((tx, arrival))
+        self.telemetry.metrics.counter("ordering.submitted").inc()
+        self.telemetry.metrics.gauge("ordering.pending", channel=tx.channel).inc()
 
     def pending_count(self, channel: str) -> int:
         return len(self._pending.get(channel, []))
@@ -201,6 +211,29 @@ class OrderingService:
         self._busy_until = released_at
         self._sequence += 1
         self.total_ordered += len(transactions)
+        metrics = self.telemetry.metrics
+        metrics.counter("ordering.batches_cut").inc()
+        metrics.counter("ordering.txs_ordered").inc(len(transactions))
+        metrics.gauge("ordering.pending", channel=channel).dec(len(transactions))
+        metrics.histogram(
+            "ordering.batch_size", bounds=(1, 2, 5, 10, 25, 50, 100, 250)
+        ).observe(len(transactions))
+        metrics.histogram("ordering.batch_latency").observe(
+            released_at - latest_arrival
+        )
+        # The batch's lifetime as a span: cut decision now, release at the
+        # modelled service-time end.  Parentage follows the caller's
+        # active span (e.g. ``fabric.order``), so orderer batches appear
+        # inside the transaction trace that triggered them.
+        self.telemetry.tracer.record_span(
+            "ordering.cut_batch",
+            start=self.clock.now,
+            end=released_at,
+            channel=channel,
+            batch_size=len(transactions),
+            sequence=self._sequence,
+            forced=force,
+        )
         return OrderedBatch(
             channel=channel,
             transactions=transactions,

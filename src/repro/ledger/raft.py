@@ -22,6 +22,7 @@ from repro.common.rng import DeterministicRNG
 from repro.ledger.transaction import Transaction
 from repro.network.messages import Exposure
 from repro.network.simnet import Observer
+from repro.telemetry import Telemetry
 
 
 class Role(enum.Enum):
@@ -73,10 +74,12 @@ class RaftCluster:
         self,
         operators: list[str],
         rng: DeterministicRNG | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if len(operators) < 3 or len(operators) % 2 == 0:
             raise OrderingError("a raft cluster needs an odd size >= 3")
         self._rng = rng or DeterministicRNG("raft:" + "|".join(operators))
+        self.telemetry = telemetry or Telemetry()
         self.nodes: dict[str, RaftNode] = {
             f"raft-{operator}": RaftNode(name=f"raft-{operator}", operator=operator)
             for operator in operators
@@ -138,11 +141,20 @@ class RaftCluster:
                 votes += 1
         if votes < self.majority():
             candidate.role = Role.FOLLOWER
+            self.telemetry.metrics.counter("raft.election_failures").inc()
             raise OrderingError(
                 f"{candidate.name!r} failed to win a majority ({votes})"
             )
         candidate.role = Role.LEADER
         self.leader = candidate.name
+        self.telemetry.metrics.counter("raft.elections_won").inc()
+        self.telemetry.metrics.gauge("raft.term").set(candidate.current_term)
+        self.telemetry.events.emit(
+            "raft.leader_elected",
+            leader=candidate.name,
+            term=candidate.current_term,
+            votes=votes,
+        )
         return candidate.name
 
     def require_leader(self) -> RaftNode:
@@ -183,7 +195,10 @@ class RaftCluster:
             stored += 1
         if stored < self.majority():
             leader.log.pop()
+            self.telemetry.metrics.counter("raft.replication_failures").inc()
             raise OrderingError("could not replicate to a majority")
+        self.telemetry.metrics.counter("raft.entries_committed").inc()
+        self.telemetry.metrics.counter("raft.replica_writes").inc(stored)
         leader.commit_index = len(leader.log)
         for follower in self._alive():
             follower.commit_index = min(len(follower.log), leader.commit_index)
@@ -200,6 +215,7 @@ class RaftCluster:
         node = self.node(f"raft-{operator}")
         node.crashed = True
         node.role = Role.FOLLOWER
+        self.telemetry.events.emit("raft.crash", node=node.name)
         if self.leader == node.name:
             self.leader = None
 

@@ -57,7 +57,15 @@ class Exposure:
 
 @dataclass(frozen=True)
 class Message:
-    """One unit of simulated network traffic."""
+    """One unit of simulated network traffic.
+
+    ``trace`` carries the sender's telemetry trace context —
+    ``(trace_id, span_id)`` — across the wire, the way real systems put
+    W3C traceparent headers on RPCs.  It holds opaque sequence-number
+    ids only (never payload-derived data), so propagation adds no
+    exposure: the leakage auditor ignores it and the telemetry
+    cross-check test verifies it reveals nothing.
+    """
 
     sender: str
     recipient: str
@@ -67,3 +75,4 @@ class Message:
     size_bytes: int = 0
     message_id: int = field(default_factory=lambda: next(_sequence))
     sent_at: float = 0.0
+    trace: tuple[str, str] | None = None

@@ -15,7 +15,13 @@ The substrate every platform simulation runs on.  Provides:
   admin) that see traffic and whose accumulated knowledge the leakage
   auditor later inspects,
 - cost accounting (messages, bytes, simulated time) for the S1-S3
-  scalability benchmarks.
+  scalability benchmarks, kept on an instance-scoped
+  :class:`~repro.telemetry.metrics.MetricsRegistry` (reset between
+  scenarios with :meth:`SimNetwork.reset_stats`),
+- telemetry: sends stamp the sender's trace context onto the message
+  envelope and deliveries record transit spans under it, so one trace
+  follows a transaction across every principal it touches; drops and
+  retries land in the privacy-aware event log.
 """
 
 from __future__ import annotations
@@ -31,6 +37,9 @@ from repro.common.rng import DeterministicRNG
 from repro.common.serialization import canonical_bytes
 from repro.faults.plan import FaultPlan
 from repro.network.messages import Exposure, Message
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import TraceContext
 
 
 @dataclass
@@ -46,7 +55,6 @@ class LatencyModel:
         return self.base + rng.uniform(0.0, self.jitter)
 
 
-@dataclass
 class NetworkStats:
     """Aggregate traffic accounting for benchmarks and chaos tests.
 
@@ -54,16 +62,46 @@ class NetworkStats:
     attribute each drop to its fault class (probabilistic loss, a
     partition that cut the link while the message was in flight, or a
     recipient that crashed before delivery).
+
+    The numbers live on the owning network's telemetry
+    :class:`~repro.telemetry.metrics.MetricsRegistry`; this class is a
+    read-only view kept for API compatibility (``net.stats.retries``
+    etc.), scoped to one :class:`SimNetwork` instance and zeroed by
+    :meth:`SimNetwork.reset_stats`.
     """
 
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped: int = 0
-    dropped_by_loss: int = 0
-    dropped_by_partition: int = 0
-    dropped_by_crash: int = 0
-    retries: int = 0
-    bytes_transferred: int = 0
+    FIELDS = {
+        "messages_sent": "net.messages_sent",
+        "messages_delivered": "net.messages_delivered",
+        "messages_dropped": "net.messages_dropped",
+        "dropped_by_loss": "net.dropped.loss",
+        "dropped_by_partition": "net.dropped.partition",
+        "dropped_by_crash": "net.dropped.crash",
+        "retries": "net.retries",
+        "bytes_transferred": "net.bytes_transferred",
+    }
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self._metrics = metrics or MetricsRegistry()
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            metric = self.FIELDS[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        return int(self._metrics.counter(metric).value)
+
+    def as_dict(self) -> dict[str, int]:
+        return {field_name: getattr(self, field_name) for field_name in self.FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"NetworkStats({inner})"
 
 
 @dataclass(frozen=True)
@@ -169,13 +207,15 @@ class SimNetwork:
         latency: LatencyModel | None = None,
         drop_probability: float = 0.0,
         fault_plan: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.clock = clock or SimClock()
         self.rng = (rng or DeterministicRNG("simnet")).fork("net")
         self.latency = latency or LatencyModel()
         self.drop_probability = drop_probability
         self.fault_plan = fault_plan
-        self.stats = NetworkStats()
+        self.telemetry = telemetry or Telemetry(clock=self.clock)
+        self.stats = NetworkStats(self.telemetry.metrics)
         self._nodes: dict[str, Node] = {}
         self._taps: list[Observer] = []
         self._queue: list[_ScheduledDelivery] = []
@@ -204,6 +244,21 @@ class SimNetwork:
         """Attach a passive wiretap that sees *all* traffic."""
         self._taps.append(observer)
         return observer
+
+    # -- stats
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters (``net.*`` metrics only).
+
+        Stats are already instance-scoped; this additionally lets one
+        long-lived network run back-to-back scenarios without counts
+        accumulating across them.  Spans and events are left alone —
+        they carry their own timestamps and are cheap to slice.
+        """
+        self.telemetry.metrics.reset(prefix="net.")
+
+    def _count(self, metric: str, amount: float = 1.0) -> None:
+        self.telemetry.metrics.counter(metric).inc(amount)
 
     # -- partitions
 
@@ -261,6 +316,33 @@ class SimNetwork:
         )
         return 1.0 - (1.0 - self.drop_probability) * (1.0 - link_loss)
 
+    def _record_drop(self, message: Message, cause: str, at: float) -> None:
+        """Account one dropped message: counters, event log, trace span."""
+        self._count("net.messages_dropped")
+        self._count(f"net.dropped.{cause}")
+        self.telemetry.events.emit(
+            "net.drop",
+            time=at,
+            cause=cause,
+            kind=message.kind,
+            sender=message.sender,
+            recipient=message.recipient,
+            size_bytes=message.size_bytes,
+        )
+        context = TraceContext.from_tuple(message.trace)
+        if context is not None:
+            self.telemetry.tracer.record_span(
+                "net.transit",
+                start=message.sent_at,
+                end=at,
+                parent=context,
+                status="error",
+                error=f"dropped:{cause}",
+                kind=message.kind,
+                sender=message.sender,
+                recipient=message.recipient,
+            )
+
     def send(
         self,
         sender: str,
@@ -269,8 +351,14 @@ class SimNetwork:
         payload: Any,
         exposure: Exposure | None = None,
     ) -> Message:
-        """Queue a point-to-point message; returns the message envelope."""
+        """Queue a point-to-point message; returns the message envelope.
+
+        The sender's current trace context (if a span is active on this
+        network's tracer) is stamped onto the envelope so the delivery
+        side can attach its transit span to the same trace.
+        """
         self._check_link(sender, recipient)
+        context = self.telemetry.tracer.current_context()
         message = Message(
             sender=sender,
             recipient=recipient,
@@ -279,12 +367,13 @@ class SimNetwork:
             exposure=exposure or Exposure(),
             size_bytes=self._payload_size(payload),
             sent_at=self.clock.now,
+            trace=context.as_tuple() if context is not None else None,
         )
-        self.stats.messages_sent += 1
+        self._count("net.messages_sent")
+        self.telemetry.metrics.counter("net.sent_by_kind", kind=kind).inc()
         loss = self._loss_probability(sender, recipient)
         if loss > 0 and self.rng.uniform(0, 1) < loss:
-            self.stats.messages_dropped += 1
-            self.stats.dropped_by_loss += 1
+            self._record_drop(message, "loss", at=self.clock.now)
             return message
         delay = self.latency.sample(self.rng)
         if self.fault_plan is not None:
@@ -351,6 +440,12 @@ class SimNetwork:
         recipient is permanent and raises immediately.  When every attempt
         times out, raises :class:`DeliveryTimeout` — a typed error in
         place of the silent drop the fire-and-forget path models.
+
+        The whole exchange runs inside one span: every retry lands as a
+        span event, the final attempt count and outcome are attributes,
+        and an exhausted send leaves the span in error status with the
+        ``DeliveryTimeout`` recorded — which is how traces under fault
+        plans stay honest about what the substrate actually did.
         """
         if max_attempts < 1:
             raise DeliveryError("max_attempts must be >= 1")
@@ -358,39 +453,58 @@ class SimNetwork:
             raise DeliveryError("timeout must be > 0")
         if recipient not in self._nodes:
             raise DeliveryError(f"unknown recipient {recipient!r}")
-        wait = timeout
-        last_refusal: DeliveryError | None = None
-        for attempt in range(1, max_attempts + 1):
-            if attempt > 1:
-                self.stats.retries += 1
-            try:
-                message = self.send(sender, recipient, kind, payload, exposure=exposure)
-            except DeliveryError as refusal:
-                message = None
-                last_refusal = refusal
-            deadline = self.clock.now + wait
-            if message is not None:
-                while (
-                    self._queue
-                    and self._queue[0].due <= deadline
-                    and not self.was_delivered(message)
-                ):
-                    self.step()
-                if self.was_delivered(message):
-                    return DeliveryReceipt(
-                        message=message,
-                        attempts=attempt,
-                        delivered=True,
-                        delivered_at=self._delivered_at[message.message_id],
+        tracer = self.telemetry.tracer
+        with tracer.span(
+            "net.send_with_retry", kind=kind, sender=sender, recipient=recipient
+        ) as span:
+            wait = timeout
+            last_refusal: DeliveryError | None = None
+            for attempt in range(1, max_attempts + 1):
+                if attempt > 1:
+                    self._count("net.retries")
+                    tracer.add_event(span, "retry", attempt=attempt)
+                    self.telemetry.events.emit(
+                        "net.retry",
+                        kind=kind,
+                        sender=sender,
+                        recipient=recipient,
+                        attempt=attempt,
                     )
-            # Wait out the ack timeout before the next attempt.
-            self.clock.advance_to(deadline)
-            wait *= backoff
-        detail = f" (last refusal: {last_refusal})" if last_refusal else ""
-        raise DeliveryTimeout(
-            f"no acknowledgement from {recipient!r} after "
-            f"{max_attempts} attempt(s){detail}"
-        )
+                try:
+                    message = self.send(
+                        sender, recipient, kind, payload, exposure=exposure
+                    )
+                except DeliveryError as refusal:
+                    message = None
+                    last_refusal = refusal
+                    tracer.add_event(span, "refused", attempt=attempt)
+                deadline = self.clock.now + wait
+                if message is not None:
+                    while (
+                        self._queue
+                        and self._queue[0].due <= deadline
+                        and not self.was_delivered(message)
+                    ):
+                        self.step()
+                    if self.was_delivered(message):
+                        tracer.set_attribute(span, "attempts", attempt)
+                        tracer.set_attribute(span, "outcome", "delivered")
+                        return DeliveryReceipt(
+                            message=message,
+                            attempts=attempt,
+                            delivered=True,
+                            delivered_at=self._delivered_at[message.message_id],
+                        )
+                # Wait out the ack timeout before the next attempt.
+                self.clock.advance_to(deadline)
+                wait *= backoff
+            tracer.set_attribute(span, "attempts", max_attempts)
+            tracer.set_attribute(span, "outcome", "DeliveryTimeout")
+            detail = f" (last refusal: {last_refusal})" if last_refusal else ""
+            raise DeliveryTimeout(
+                f"no acknowledgement from {recipient!r} after "
+                f"{max_attempts} attempt(s){detail}"
+            )
 
     # -- event loop
 
@@ -407,17 +521,30 @@ class SimNetwork:
         self.clock.advance_to(event.due)
         message = event.message
         if self.is_partitioned(message.sender, message.recipient, now=event.due):
-            self.stats.messages_dropped += 1
-            self.stats.dropped_by_partition += 1
+            self._record_drop(message, "partition", at=event.due)
             return True
         if self.is_crashed(message.recipient, now=event.due):
-            self.stats.messages_dropped += 1
-            self.stats.dropped_by_crash += 1
+            self._record_drop(message, "crash", at=event.due)
             return True
         for tap in self._taps:
             tap.observe(message)
-        self.stats.messages_delivered += 1
-        self.stats.bytes_transferred += message.size_bytes
+        self._count("net.messages_delivered")
+        self._count("net.bytes_transferred", message.size_bytes)
+        self.telemetry.metrics.histogram("net.delivery_latency").observe(
+            event.due - message.sent_at
+        )
+        context = TraceContext.from_tuple(message.trace)
+        if context is not None:
+            self.telemetry.tracer.record_span(
+                "net.transit",
+                start=message.sent_at,
+                end=event.due,
+                parent=context,
+                kind=message.kind,
+                sender=message.sender,
+                recipient=message.recipient,
+                size_bytes=message.size_bytes,
+            )
         self._delivered_at[message.message_id] = event.due
         self._nodes[message.recipient].deliver(message)
         return True

@@ -23,6 +23,7 @@ from repro.crypto.pki import Certificate, CertificateAuthority, MembershipServic
 from repro.crypto.signatures import PrivateKey, SignatureScheme
 from repro.core.mechanisms import Mechanism
 from repro.network.simnet import SimNetwork
+from repro.telemetry import Telemetry
 
 
 class SupportLevel(enum.Enum):
@@ -68,7 +69,13 @@ class Platform:
         self.clock = SimClock()
         self.rng = DeterministicRNG(seed)
         self.scheme = SignatureScheme()
-        self.network = SimNetwork(clock=self.clock, rng=self.rng.fork("net"))
+        # One Telemetry bundle per platform: the network, ordering service,
+        # execution engine, and use-case workflows all record into it, so a
+        # single trace follows a transaction across every principal.
+        self.telemetry = Telemetry(clock=self.clock)
+        self.network = SimNetwork(
+            clock=self.clock, rng=self.rng.fork("net"), telemetry=self.telemetry
+        )
         self.ca = CertificateAuthority(
             f"{self.platform_name}-root-ca", self.scheme, self.clock,
             rng=self.rng.fork("ca"),

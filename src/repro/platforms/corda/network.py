@@ -80,6 +80,7 @@ class CordaNetwork(Platform):
             validating=validating_notary,
             operator=notary_operator,
             contract_verifier=self._verify_contracts,
+            telemetry=self.telemetry,
         )
         self.vaults: dict[str, Vault] = {}
         self.verifiers: dict[str, ContractVerifier] = {}
@@ -141,6 +142,9 @@ class CordaNetwork(Platform):
     def create_confidential_identity(self, owner: str) -> OneTimeIdentity:
         """Mint a fresh one-time key for *owner*; certificate stays off-ledger."""
         identity = self._onetime_factories[owner].mint()
+        self.telemetry.metrics.counter(
+            "crypto.ops", mechanism="one-time-public-keys"
+        ).inc()
         self._onetime_index[identity.public.y] = identity
         return identity
 
@@ -215,64 +219,88 @@ class CordaNetwork(Platform):
             code_ids={state.contract_id for state in wire.outputs},
         )
 
-        # 1. Point-to-point proposal to every involved legal identity.
-        counterparties = (participants | legal_signers) & set(self.parties)
-        for counterparty in sorted(counterparties - {initiator}):
-            self.network.send(
-                initiator, counterparty, "flow-proposal",
-                {"tx_id": wire.tx_id}, exposure=exposure,
+        with self.telemetry.span(
+            "corda.flow", initiator=initiator, outputs=len(wire.outputs)
+        ):
+            # 1. Point-to-point proposal to every involved legal identity.
+            counterparties = (participants | legal_signers) & set(self.parties)
+            with self.telemetry.span(
+                "corda.propose", counterparties=len(counterparties) - 1
+            ):
+                for counterparty in sorted(counterparties - {initiator}):
+                    self.network.send(
+                        initiator, counterparty, "flow-proposal",
+                        {"tx_id": wire.tx_id}, exposure=exposure,
+                    )
+
+            # 2. Every participant verifies contract logic locally (business
+            # logic executes outside the platform — the paper's Corda model).
+            with self.telemetry.span("corda.verify"):
+                self._verify_contracts(wire)
+
+            # 3. Collect signatures over the Merkle root.
+            with self.telemetry.span("corda.sign", signers=len(signers)):
+                stx = SignedTransaction(wire=wire)
+                payload = wire.signing_payload()
+                for signer in sorted(legal_signers):
+                    stx.add_signature(
+                        signer, self.scheme.sign(self.parties[signer].key, payload)
+                    )
+                    self.telemetry.metrics.counter(
+                        "crypto.ops", mechanism="flow-signature"
+                    ).inc()
+                for label, signature in (extra_signatures or {}).items():
+                    stx.add_signature(label, signature)
+                missing = signers - set(stx.signatures)
+                if missing:
+                    raise ValidationError(
+                        f"missing signatures from {sorted(missing)}"
+                    )
+
+            # 4. Notarise.  Non-validating notaries get a tear-off only.  The
+            # notarise hop is the flow's critical round-trip, so it is the one
+            # that opts into resilient delivery.
+            notarise_hop = (
+                self.network.send_with_retry
+                if self.resilient_delivery
+                else self.network.send
             )
+            with self.telemetry.span(
+                "corda.notarise", validating=self.notary.validating
+            ):
+                if self.notary.validating:
+                    notarise_hop(
+                        initiator, NOTARY_NODE, "notarise-full",
+                        {"tx_id": wire.tx_id}, exposure=exposure,
+                    )
+                    receipt = self.notary.notarise_full(stx)
+                else:
+                    filtered = wire.filtered(
+                        [ComponentGroup.INPUTS, ComponentGroup.NOTARY]
+                    )
+                    self.telemetry.metrics.counter(
+                        "crypto.ops", mechanism="merkle-tear-off"
+                    ).inc()
+                    notarise_hop(
+                        initiator, NOTARY_NODE, "notarise-filtered",
+                        {"tx_id": wire.tx_id}, exposure=Exposure(),
+                    )
+                    receipt = self.notary.notarise_filtered(filtered)
 
-        # 2. Every participant verifies contract logic locally (business
-        # logic executes outside the platform — the paper's Corda model).
-        self._verify_contracts(wire)
-
-        # 3. Collect signatures over the Merkle root.
-        stx = SignedTransaction(wire=wire)
-        payload = wire.signing_payload()
-        for signer in sorted(legal_signers):
-            stx.add_signature(signer, self.scheme.sign(self.parties[signer].key, payload))
-        for label, signature in (extra_signatures or {}).items():
-            stx.add_signature(label, signature)
-        missing = signers - set(stx.signatures)
-        if missing:
-            raise ValidationError(f"missing signatures from {sorted(missing)}")
-
-        # 4. Notarise.  Non-validating notaries get a tear-off only.  The
-        # notarise hop is the flow's critical round-trip, so it is the one
-        # that opts into resilient delivery.
-        notarise_hop = (
-            self.network.send_with_retry
-            if self.resilient_delivery
-            else self.network.send
-        )
-        if self.notary.validating:
-            notarise_hop(
-                initiator, NOTARY_NODE, "notarise-full",
-                {"tx_id": wire.tx_id}, exposure=exposure,
-            )
-            receipt = self.notary.notarise_full(stx)
-        else:
-            filtered = wire.filtered([ComponentGroup.INPUTS, ComponentGroup.NOTARY])
-            notarise_hop(
-                initiator, NOTARY_NODE, "notarise-filtered",
-                {"tx_id": wire.tx_id}, exposure=Exposure(),
-            )
-            receipt = self.notary.notarise_filtered(filtered)
-
-        # 5. Finalise: record in every involved party's vault, shipping the
-        # backchain of every consumed input first (transaction resolution)
-        # — new counterparties must be able to verify provenance, which is
-        # the mechanism's inherent history disclosure.
-        for counterparty in sorted(counterparties):
-            if counterparty != initiator:
-                for ref in wire.inputs:
-                    self.resolve_backchain(initiator, counterparty, ref)
-                self.network.send(
-                    initiator, counterparty, "finalise",
-                    {"tx_id": wire.tx_id}, exposure=exposure,
-                )
-            self.vaults[counterparty].record(stx)
+            # 5. Finalise: record in every involved party's vault, shipping the
+            # backchain of every consumed input first (transaction resolution)
+            # — new counterparties must be able to verify provenance, which is
+            # the mechanism's inherent history disclosure.
+            with self.telemetry.span("corda.finalise"):
+                for counterparty in sorted(counterparties):
+                    if counterparty != initiator:
+                        for ref in wire.inputs:
+                            self.resolve_backchain(initiator, counterparty, ref)
+                        self.network.send(
+                            initiator, counterparty, "finalise",
+                            {"tx_id": wire.tx_id}, exposure=exposure,
+                        )
+                    self.vaults[counterparty].record(stx)
         output_refs = [
             StateRef(tx_id=wire.tx_id, index=i) for i in range(len(wire.outputs))
         ]

@@ -33,6 +33,7 @@ from repro.platforms.corda.transactions import (
     FilteredTransaction,
     SignedTransaction,
 )
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -56,10 +57,12 @@ class Notary:
         operator: str = "third-party",
         contract_verifier: Callable | None = None,
         capacity_tps: float = 500.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.name = name
         self.scheme = scheme
         self.clock = clock
+        self.telemetry = telemetry or Telemetry(clock=clock)
         self.validating = validating
         self.operator = operator
         self.contract_verifier = contract_verifier
@@ -90,9 +93,12 @@ class Notary:
         """Take the notary down.  The spent-ref map is durable: losing it
         would let every consumed state be double-spent after recovery."""
         self.crashed = True
+        self.telemetry.events.emit("notary.crash", notary=self.name)
+        self.telemetry.metrics.counter("notary.crashes").inc()
 
     def recover(self) -> None:
         self.crashed = False
+        self.telemetry.events.emit("notary.recover", notary=self.name)
 
     def _consume(self, refs: list[StateRef], tx_id: str) -> None:
         for ref in refs:
@@ -129,7 +135,13 @@ class Notary:
             self.contract_verifier(wire)
         self._consume(list(wire.inputs), wire.tx_id)
         self.total_notarised += 1
-        self._service_delay()
+        started = self.clock.now
+        released = self._service_delay()
+        self.telemetry.metrics.counter("notary.notarised", mode="full").inc()
+        self.telemetry.tracer.record_span(
+            "notary.notarise", start=started, end=released,
+            mode="full", inputs=len(wire.inputs),
+        )
         return NotarisationReceipt(
             tx_id=wire.tx_id,
             notary=self.name,
@@ -151,7 +163,13 @@ class Notary:
         self.observer.observe_exposure(Exposure())
         self._consume(refs, ftx.tx_id)
         self.total_notarised += 1
-        self._service_delay()
+        started = self.clock.now
+        released = self._service_delay()
+        self.telemetry.metrics.counter("notary.notarised", mode="filtered").inc()
+        self.telemetry.tracer.record_span(
+            "notary.notarise", start=started, end=released,
+            mode="filtered", inputs=len(refs),
+        )
         return NotarisationReceipt(
             tx_id=ftx.tx_id,
             notary=self.name,

@@ -100,9 +100,10 @@ class FabricNetwork(Platform):
             self.clock,
             visibility=OrdererVisibility.FULL,
             operator=orderer_operator,
+            telemetry=self.telemetry,
         )
         self.channels: dict[str, Channel] = {}
-        self.engine = LedgerEngine()
+        self.engine = LedgerEngine(telemetry=self.telemetry)
         self.idemix_issuer = CredentialIssuer(
             "fabric-idemix-msp", scheme=self.scheme, rng=self.rng.fork("idemix")
         )
@@ -185,23 +186,29 @@ class FabricNetwork(Platform):
         """Send proposals, execute on each endorser, check agreement."""
         reference = channel.reference_state()
         results = []
-        for endorser in endorsers:
-            self.network.send(
-                submitter_label if submitter_label in self.parties else endorsers[0],
-                endorser,
-                "proposal",
-                {"contract": contract_id, "function": function, "args": args},
-                exposure=proposal_exposure,
-            )
-            result = self.engine.execute(
-                endorser,
-                contract_id,
-                function,
-                args,
-                reference.snapshot(),
-                {k: reference.version(k) for k in reference.keys()},
-            )
-            results.append((endorser, result))
+        with self.telemetry.span(
+            "fabric.endorse",
+            channel=channel.name,
+            contract=contract_id,
+            endorsers=len(endorsers),
+        ):
+            for endorser in endorsers:
+                self.network.send(
+                    submitter_label if submitter_label in self.parties else endorsers[0],
+                    endorser,
+                    "proposal",
+                    {"contract": contract_id, "function": function, "args": args},
+                    exposure=proposal_exposure,
+                )
+                result = self.engine.execute(
+                    endorser,
+                    contract_id,
+                    function,
+                    args,
+                    reference.snapshot(),
+                    {k: reference.version(k) for k in reference.keys()},
+                )
+                results.append((endorser, result))
         first = results[0][1]
         for endorser, result in results[1:]:
             if result.writes != first.writes or result.deletes != first.deletes:
@@ -249,6 +256,7 @@ class FabricNetwork(Platform):
             presentation = holder.obtain_presentation({"msp": "fabric"})
             if not verify_presentation(self.idemix_issuer, presentation):
                 raise MembershipError("Idemix presentation failed verification")
+            self.telemetry.metrics.counter("crypto.ops", mechanism="idemix").inc()
             metadata["anonymous"] = True
             metadata["idemix"] = {
                 "disclosed": presentation.disclosed,
@@ -280,6 +288,9 @@ class FabricNetwork(Platform):
                         now=self.clock.now,
                     )
                     private_hashes[f"{collection_name}/{key}"] = anchor
+                    self.telemetry.metrics.counter(
+                        "crypto.ops", mechanism="private-data-collection"
+                    ).inc()
                 disclosures.append(collection.disclosure())
             metadata["collections"] = disclosures
 
@@ -298,6 +309,9 @@ class FabricNetwork(Platform):
         endorsements = []
         for endorser in endorsers:
             signature = self.scheme.sign(self.parties[endorser].key, tx.signing_bytes())
+            self.telemetry.metrics.counter(
+                "crypto.ops", mechanism="endorsement-signature"
+            ).inc()
             endorsements.append(Endorsement(endorser=endorser, signature=signature))
             self.network.send(
                 endorser,
@@ -337,12 +351,18 @@ class FabricNetwork(Platform):
         at commit (e.g. a stale read).  For batch semantics with per-tx
         validation codes, use :meth:`propose` + :meth:`submit_batch`.
         """
-        proposal = self.propose(
-            channel_name, submitter, contract_id, function, args,
-            endorsers=endorsers, collection_writes=collection_writes,
-            anonymous=anonymous,
-        )
-        result = self.submit_batch(channel_name, [proposal])[0]
+        with self.telemetry.span(
+            "fabric.invoke",
+            channel=channel_name,
+            contract=contract_id,
+            function=function,
+        ):
+            proposal = self.propose(
+                channel_name, submitter, contract_id, function, args,
+                endorsers=endorsers, collection_writes=collection_writes,
+                anonymous=anonymous,
+            )
+            result = self.submit_batch(channel_name, [proposal])[0]
         if not result.valid:
             raise ValidationError(
                 f"transaction {result.tx.tx_id} invalidated: "
@@ -366,29 +386,32 @@ class FabricNetwork(Platform):
             # Fail before any state or queue mutation so a caller can
             # retry the whole batch after recovery without double-apply.
             raise OrderingError(f"ordering service {ORDERER_NODE!r} is down")
-        for proposal in proposals:
-            if proposal.channel_name != channel_name:
-                raise PlatformError("proposal belongs to a different channel")
-            submit_hop = (
-                self.network.send_with_retry
-                if self.resilient_delivery
-                else self.network.send
-            )
-            submit_hop(
-                proposal.tx.submitter
-                if proposal.tx.submitter in self.parties
-                else sorted(channel.members)[0],
-                ORDERER_NODE,
-                "submit",
-                {"tx_id": proposal.tx.tx_id},
-                exposure=Exposure.of(
-                    identities=set(proposal.tx.metadata.get("participants", [])),
-                    data_keys={w.key for w in proposal.tx.writes}
-                    | {r.key for r in proposal.tx.reads},
-                ),
-            )
-            self.orderer.submit(proposal.tx)
-        batch = self.orderer.cut_batch(channel_name, force=True)
+        with self.telemetry.span(
+            "fabric.order", channel=channel_name, batch_size=len(proposals)
+        ):
+            for proposal in proposals:
+                if proposal.channel_name != channel_name:
+                    raise PlatformError("proposal belongs to a different channel")
+                submit_hop = (
+                    self.network.send_with_retry
+                    if self.resilient_delivery
+                    else self.network.send
+                )
+                submit_hop(
+                    proposal.tx.submitter
+                    if proposal.tx.submitter in self.parties
+                    else sorted(channel.members)[0],
+                    ORDERER_NODE,
+                    "submit",
+                    {"tx_id": proposal.tx.tx_id},
+                    exposure=Exposure.of(
+                        identities=set(proposal.tx.metadata.get("participants", [])),
+                        data_keys={w.key for w in proposal.tx.writes}
+                        | {r.key for r in proposal.tx.reads},
+                    ),
+                )
+                self.orderer.submit(proposal.tx)
+            batch = self.orderer.cut_batch(channel_name, force=True)
         return self._commit_block(channel, proposals, batch.released_at)
 
     def _commit_block(
@@ -418,36 +441,48 @@ class FabricNetwork(Platform):
                     {"tx_id": tx.tx_id, "channel": channel.name},
                     exposure=Exposure.of(identities=identities, data_keys=data_keys),
                 )
-            code = ValidationCode.VALID
-            # 1. Endorsement policy of the (single committed) chaincode.
-            contract_id = self._contract_of(channel, tx)
-            if contract_id is not None:
-                policy = channel.committed_definition(contract_id).policy
-                try:
-                    verify_endorsements(
-                        tx, policy, self.scheme,
-                        lambda n: self.parties[n].public_key,
-                    )
-                except EndorsementError:
-                    code = ValidationCode.ENDORSEMENT_POLICY_FAILURE
-            # 2. MVCC read-set check against the evolving state.
-            if code is ValidationCode.VALID:
-                reference = channel.reference_state()
-                for read in tx.reads:
-                    if reference.version(read.key) != read.version:
-                        code = ValidationCode.MVCC_READ_CONFLICT
-                        break
+            with self.telemetry.span(
+                "fabric.validate", channel=channel.name
+            ) as validate_span:
+                code = ValidationCode.VALID
+                # 1. Endorsement policy of the (single committed) chaincode.
+                contract_id = self._contract_of(channel, tx)
+                if contract_id is not None:
+                    policy = channel.committed_definition(contract_id).policy
+                    try:
+                        verify_endorsements(
+                            tx, policy, self.scheme,
+                            lambda n: self.parties[n].public_key,
+                        )
+                    except EndorsementError:
+                        code = ValidationCode.ENDORSEMENT_POLICY_FAILURE
+                # 2. MVCC read-set check against the evolving state.
+                if code is ValidationCode.VALID:
+                    reference = channel.reference_state()
+                    for read in tx.reads:
+                        if reference.version(read.key) != read.version:
+                            code = ValidationCode.MVCC_READ_CONFLICT
+                            break
+                self.telemetry.tracer.set_attribute(
+                    validate_span, "validation_code", code.value
+                )
+                self.telemetry.metrics.counter(
+                    "fabric.validation", code=code.value
+                ).inc()
             # 3. Apply writes on every replica iff valid.
-            if code is ValidationCode.VALID:
-                for state in channel.states.values():
-                    for write in tx.writes:
-                        if write.is_delete:
-                            if state.exists(write.key):
-                                state.delete(write.key)
-                        else:
-                            state.put(write.key, write.value)
-            block_txs.append(tx)
-            channel.record_commit(tx, code is ValidationCode.VALID)
+            with self.telemetry.span(
+                "fabric.commit", channel=channel.name, valid=code is ValidationCode.VALID
+            ):
+                if code is ValidationCode.VALID:
+                    for state in channel.states.values():
+                        for write in tx.writes:
+                            if write.is_delete:
+                                if state.exists(write.key):
+                                    state.delete(write.key)
+                            else:
+                                state.put(write.key, write.value)
+                block_txs.append(tx)
+                channel.record_commit(tx, code is ValidationCode.VALID)
             results.append(InvokeResult(
                 tx=tx,
                 return_value=proposal.return_value,

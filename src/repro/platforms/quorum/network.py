@@ -78,6 +78,7 @@ class QuorumNetwork(Platform):
             self.clock,
             visibility=OrdererVisibility.FULL,
             operator=consensus_operator,
+            telemetry=self.telemetry,
         )
 
     # -- membership
@@ -177,32 +178,41 @@ class QuorumNetwork(Platform):
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
         self._require_sequencer()
-        return_values = {}
-        view = None
-        for node in sorted(self.parties):
-            value, view = self._execute(
-                node, contract_id, function, args, self.public_states[node]
+        with self.telemetry.span(
+            "quorum.public_tx", sender=sender, contract=contract_id
+        ):
+            return_values = {}
+            view = None
+            with self.telemetry.span(
+                "quorum.execute", nodes=len(self.parties)
+            ):
+                for node in sorted(self.parties):
+                    value, view = self._execute(
+                        node, contract_id, function, args, self.public_states[node]
+                    )
+                    return_values[node] = value
+            writes = tuple(
+                WriteEntry(key=k, value=v) for k, v in sorted(view.writes.items())
             )
-            return_values[node] = value
-        writes = tuple(
-            WriteEntry(key=k, value=v) for k, v in sorted(view.writes.items())
-        )
-        tx = Transaction(
-            channel="quorum-public",
-            submitter=sender,
-            writes=writes,
-            metadata={"kind": "public", "participants": sorted(self.parties)},
-            timestamp=self.clock.now,
-        )
-        exposure = Exposure.of(
-            identities={sender},
-            data_keys=set(view.writes) | set(view.reads),
-            code_ids={contract_id},
-        )
-        self.network.broadcast(sender, "public-tx", {"tx_id": tx.tx_id}, exposure=exposure)
-        self.sequencer.submit(tx)
-        self.sequencer.cut_batch("quorum-public", force=True)
-        self.chain.append([tx], self.clock.now)
+            tx = Transaction(
+                channel="quorum-public",
+                submitter=sender,
+                writes=writes,
+                metadata={"kind": "public", "participants": sorted(self.parties)},
+                timestamp=self.clock.now,
+            )
+            exposure = Exposure.of(
+                identities={sender},
+                data_keys=set(view.writes) | set(view.reads),
+                code_ids={contract_id},
+            )
+            with self.telemetry.span("quorum.order"):
+                self.network.broadcast(
+                    sender, "public-tx", {"tx_id": tx.tx_id}, exposure=exposure
+                )
+                self.sequencer.submit(tx)
+                self.sequencer.cut_batch("quorum-public", force=True)
+                self.chain.append([tx], self.clock.now)
         return QuorumTxResult(
             tx=tx, payload_hash=None,
             participants=sorted(self.parties), return_values=return_values,
@@ -226,51 +236,67 @@ class QuorumNetwork(Platform):
             raise MembershipError(f"{sender!r} is not onboarded")
         self._require_sequencer()
         participants = sorted(set(private_for) | {sender})
-        payload = {"contract": contract_id, "function": function, "args": args}
-        payload_hash = self.managers[sender].distribute(
-            payload, participants, self.managers
-        )
-        # The encrypted payload crosses the wire once per recipient; the
-        # ciphertext itself exposes nothing (empty exposure).  These sends
-        # precede every private-state mutation (distribution itself is
-        # idempotent), so a partitioned recipient fails the transaction
-        # cleanly and a retry after heal cannot double-apply.
-        payload_hop = (
-            self.network.send_with_retry
-            if self.resilient_delivery
-            else self.network.send
-        )
-        for participant in participants:
-            if participant != sender:
-                payload_hop(
-                    sender, participant, "private-payload",
-                    {"hash": payload_hash}, exposure=Exposure(),
+        with self.telemetry.span(
+            "quorum.private_tx",
+            sender=sender,
+            contract=contract_id,
+            participants=len(participants),
+        ):
+            payload = {"contract": contract_id, "function": function, "args": args}
+            # The encrypted payload crosses the wire once per recipient; the
+            # ciphertext itself exposes nothing (empty exposure).  These sends
+            # precede every private-state mutation (distribution itself is
+            # idempotent), so a partitioned recipient fails the transaction
+            # cleanly and a retry after heal cannot double-apply.
+            with self.telemetry.span("quorum.distribute"):
+                payload_hash = self.managers[sender].distribute(
+                    payload, participants, self.managers
                 )
-        # Participants resolve the payload and update their private state.
-        return_values = {}
-        for participant in participants:
-            resolved = self.managers[participant].resolve(payload_hash)
-            value, __ = self._execute(
-                participant,
-                resolved["contract"],
-                resolved["function"],
-                resolved["args"],
-                self.private_states[participant],
+                self.telemetry.metrics.counter(
+                    "crypto.ops", mechanism="private-payload-encryption"
+                ).inc(len(participants) - 1)
+                payload_hop = (
+                    self.network.send_with_retry
+                    if self.resilient_delivery
+                    else self.network.send
+                )
+                for participant in participants:
+                    if participant != sender:
+                        payload_hop(
+                            sender, participant, "private-payload",
+                            {"hash": payload_hash}, exposure=Exposure(),
+                        )
+            # Participants resolve the payload and update their private state.
+            return_values = {}
+            with self.telemetry.span(
+                "quorum.execute", nodes=len(participants)
+            ):
+                for participant in participants:
+                    resolved = self.managers[participant].resolve(payload_hash)
+                    value, __ = self._execute(
+                        participant,
+                        resolved["contract"],
+                        resolved["function"],
+                        resolved["args"],
+                        self.private_states[participant],
+                    )
+                    return_values[participant] = value
+            # The public transaction: hash only — but participants in the clear.
+            tx = Transaction(
+                channel="quorum-public",
+                submitter=sender,
+                private_hashes={"payload": payload_hash},
+                metadata={"kind": "private", "participants": participants},
+                timestamp=self.clock.now,
             )
-            return_values[participant] = value
-        # The public transaction: hash only — but participants in the clear.
-        tx = Transaction(
-            channel="quorum-public",
-            submitter=sender,
-            private_hashes={"payload": payload_hash},
-            metadata={"kind": "private", "participants": participants},
-            timestamp=self.clock.now,
-        )
-        leak_exposure = Exposure.of(identities=set(participants))
-        self.network.broadcast(sender, "private-tx", {"tx_id": tx.tx_id}, exposure=leak_exposure)
-        self.sequencer.submit(tx)
-        self.sequencer.cut_batch("quorum-public", force=True)
-        self.chain.append([tx], self.clock.now)
+            leak_exposure = Exposure.of(identities=set(participants))
+            with self.telemetry.span("quorum.order"):
+                self.network.broadcast(
+                    sender, "private-tx", {"tx_id": tx.tx_id}, exposure=leak_exposure
+                )
+                self.sequencer.submit(tx)
+                self.sequencer.cut_batch("quorum-public", force=True)
+                self.chain.append([tx], self.clock.now)
         return QuorumTxResult(
             tx=tx, payload_hash=payload_hash,
             participants=participants, return_values=return_values,

@@ -1,0 +1,92 @@
+"""End-to-end telemetry for the simulation substrate.
+
+Three coordinated pieces, all deterministic and all keyed to simulated
+time (never the wall clock):
+
+- **tracing** (:mod:`repro.telemetry.tracing`): spans with parent/child
+  propagation that rides on network messages, so one trace follows a
+  transaction across endorsers, orderers, and notaries;
+- **metrics** (:mod:`repro.telemetry.metrics`): instance-scoped
+  counters/gauges/histograms that the substrate's traffic stats,
+  ordering batch stats, fault drop counters, and per-mechanism crypto
+  cost counters all live on;
+- **privacy-aware event log** (:mod:`repro.telemetry.events` +
+  :mod:`repro.telemetry.redaction`): structured events whose attributes
+  are redacted at record time, pinned by test to leak nothing the L1
+  leakage audit does not already account for.
+
+A :class:`Telemetry` bundle ties one clock to one tracer, one registry,
+and one event log; every :class:`~repro.platforms.base.Platform` owns a
+bundle and shares it with its network, ordering principal, and
+execution engine.  CLI: ``repro trace`` / ``repro metrics``.
+"""
+
+from repro.common.clock import SimClock
+from repro.telemetry.events import EventLog, LogEvent
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    render_diff,
+)
+from repro.telemetry.redaction import RedactionFilter, redacted_digest
+from repro.telemetry.render import render_trace_tree, trace_json
+from repro.telemetry.tracing import Span, SpanEvent, TraceContext, Tracer
+
+
+class Telemetry:
+    """One scope's tracer + metrics + event log on a shared clock."""
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        redactor: RedactionFilter | None = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.redactor = redactor or RedactionFilter()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock, redactor=self.redactor)
+        self.events = EventLog(clock=self.clock, redactor=self.redactor)
+
+    # Convenience pass-throughs used by instrumented call sites.
+
+    def span(self, name: str, **kwargs):
+        return self.tracer.span(name, **kwargs)
+
+    def emit(self, name: str, **attributes):
+        return self.events.emit(name, **attributes)
+
+    def counter(self, name: str, **labels):
+        return self.metrics.counter(name, **labels)
+
+    def to_dict(self) -> dict:
+        """Everything this bundle recorded, JSON-serializable — the
+        surface the leakage cross-check test sweeps for secrets."""
+        return {
+            "spans": self.tracer.to_dicts(),
+            "events": self.events.to_dicts(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "TraceContext",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "diff_snapshots",
+    "render_diff",
+    "EventLog",
+    "LogEvent",
+    "RedactionFilter",
+    "redacted_digest",
+    "render_trace_tree",
+    "trace_json",
+]

@@ -1,0 +1,65 @@
+"""Privacy-aware structured event log.
+
+A flat, append-only record of notable happenings (message drops, retry
+attempts, batch cuts, crash/recover transitions) with simulated-time
+stamps.  Where spans answer "how long did this take and under what", the
+event log answers "what happened, in order" — the substrate's equivalent
+of an operational log, except every attribute passes the
+:class:`~repro.telemetry.redaction.RedactionFilter` before it is stored,
+so the log can be shipped outside the trust boundary without widening
+any observer's knowledge (the property the telemetry cross-check test
+pins against the L1 leakage audit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.clock import SimClock
+from repro.common.serialization import canonical_json
+from repro.telemetry.redaction import RedactionFilter
+
+
+@dataclass
+class LogEvent:
+    """One structured entry: when (simulated), what, and redacted detail."""
+
+    time: float
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "name": self.name, "attributes": self.attributes}
+
+
+class EventLog:
+    """Append-only, redaction-filtered, simulated-time event stream."""
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        redactor: RedactionFilter | None = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.redactor = redactor or RedactionFilter()
+        self.entries: list[LogEvent] = []
+
+    def emit(self, name: str, time: float | None = None, **attributes: Any) -> LogEvent:
+        """Record one event; attributes are redacted before storage."""
+        event = LogEvent(
+            time=self.clock.now if time is None else time,
+            name=name,
+            attributes=self.redactor.redact_attributes(attributes),
+        )
+        self.entries.append(event)
+        return event
+
+    def named(self, name: str) -> list[LogEvent]:
+        return [e for e in self.entries if e.name == name]
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.entries]
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dicts())

@@ -1,0 +1,106 @@
+"""Privacy-aware redaction for telemetry.
+
+The paper's whole subject is that confidential values must not cross a
+boundary they were designed to stay behind — and an observability layer
+is exactly such a boundary: operators read traces, event logs travel to
+dashboards, metrics land in files.  Rule F102 of the static linter
+("confidential value printed or logged") applies to telemetry with full
+force, so every attribute recorded on a span, event, or log entry passes
+through a :class:`RedactionFilter` *at record time*.
+
+Policy:
+
+- attribute keys carrying a confidential token by the repo's naming
+  convention (the same convention the static taint pass enforces:
+  ``secret``, ``pii``, ``passport``, ...) have their values replaced by
+  a tagged digest — correlatable, never invertible;
+- keys explicitly registered with :meth:`RedactionFilter.mark` are
+  treated the same regardless of name;
+- a value under the reserved key ``payload`` is never recorded verbatim:
+  it is summarized to its type and canonical size;
+- everything is applied recursively through dicts / lists / tuples.
+
+The cross-check test in ``tests/telemetry`` pins the guarantee the issue
+asks for: telemetry emitted during the L1 audit scenario and the
+letter-of-credit run leaks nothing the audit's observers do not already
+account for.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.crypto.hashing import hash_hex
+
+#: Key fragments that mark an attribute value confidential by convention.
+#: Kept in sync with ``repro.analysis.taint.CONFIDENTIAL_TOKENS``.
+CONFIDENTIAL_KEY_TOKENS = (
+    "secret",
+    "confidential",
+    "pii",
+    "passport",
+    "ssn",
+    "password",
+    "credential",
+    "plaintext",
+    "opening",
+)
+
+#: Reserved attribute keys whose values are summarized, never recorded.
+PAYLOAD_KEYS = ("payload", "args", "value")
+
+REDACTION_TAG = "telemetry-redaction"
+
+
+def redacted_digest(value: Any) -> str:
+    """The stable, non-invertible form a confidential value is recorded as."""
+    return "[REDACTED:" + hash_hex(REDACTION_TAG, value)[:16] + "]"
+
+
+class RedactionFilter:
+    """Decides, per attribute key, whether a value may be recorded."""
+
+    def __init__(self, extra_keys: set[str] | None = None) -> None:
+        self._marked: set[str] = set(extra_keys or ())
+
+    def mark(self, key: str) -> None:
+        """Tag *key* confidential regardless of its name."""
+        self._marked.add(key.lower())
+
+    def is_confidential_key(self, key: str) -> bool:
+        normalized = key.lower().replace("-", "_").replace("/", "_")
+        if normalized in self._marked or key.lower() in self._marked:
+            return True
+        return any(token in normalized for token in CONFIDENTIAL_KEY_TOKENS)
+
+    def is_payload_key(self, key: str) -> bool:
+        return key.lower() in PAYLOAD_KEYS
+
+    # -- application
+
+    def redact_attributes(self, attributes: dict[str, Any]) -> dict[str, Any]:
+        """The record-time gate: every telemetry attribute dict goes here."""
+        return {key: self._redact(key, value) for key, value in attributes.items()}
+
+    def _redact(self, key: str, value: Any) -> Any:
+        if self.is_confidential_key(key):
+            return redacted_digest(value)
+        if self.is_payload_key(key):
+            return self._summarize(value)
+        if isinstance(value, dict):
+            return {k: self._redact(str(k), v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            # Container items inherit the container key's classification
+            # (already checked above), but dict items re-check their keys.
+            return [self._redact(key, item) for item in value]
+        return value
+
+    def _summarize(self, value: Any) -> dict[str, Any]:
+        """Shape-only record of a payload: type and approximate size."""
+        from repro.common.serialization import canonical_bytes
+
+        try:
+            size = len(canonical_bytes(value))
+        except (TypeError, ValueError):
+            size = -1
+        return {"type": type(value).__name__, "size_bytes": size}

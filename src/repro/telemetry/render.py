@@ -1,0 +1,72 @@
+"""Text and JSON rendering of traces and metrics for the CLI.
+
+The span-tree renderer is what ``repro trace`` prints: one tree per
+trace, children indented under parents, simulated-time offsets and
+durations on every line, attributes and error status inline::
+
+    trace t0001
+    └─ fabric.invoke                     @0.000000s  +105.2ms  channel=trade-ab
+       ├─ fabric.endorse                 @0.000000s    +0.0ms  endorsers=2
+       ├─ fabric.order                   @0.000000s  +101.0ms  batch_size=1
+       └─ fabric.validate_commit         @0.101000s    +4.2ms  valid=1
+"""
+
+from __future__ import annotations
+
+from repro.common.serialization import canonical_json
+from repro.telemetry.tracing import Span, Tracer
+
+
+def _format_attributes(span: Span) -> str:
+    parts = [f"{k}={v}" for k, v in span.attributes.items()]
+    if span.error:
+        parts.append(f"error={span.error}")
+    return "  ".join(parts)
+
+
+def _render_span(
+    span: Span, children: dict[str | None, list[Span]], depth: int, lines: list[str],
+    is_last: bool,
+) -> None:
+    connector = "└─ " if is_last else "├─ "
+    prefix = "   " * depth + connector if depth >= 0 else ""
+    label = f"{prefix}{span.name}"
+    timing = f"@{span.start:.6f}s  +{span.duration * 1000:.1f}ms"
+    attrs = _format_attributes(span)
+    lines.append(f"{label:<44s} {timing}" + (f"  {attrs}" if attrs else ""))
+    kids = children.get(span.span_id, [])
+    for i, child in enumerate(kids):
+        _render_span(child, children, depth + 1, lines, i == len(kids) - 1)
+
+
+def render_trace_tree(tracer: Tracer, trace_id: str | None = None) -> str:
+    """Render one trace (or every trace) as an indented tree."""
+    trace_ids = [trace_id] if trace_id is not None else tracer.trace_ids()
+    lines: list[str] = []
+    for tid in trace_ids:
+        spans = tracer.spans_of(tid)
+        if not spans:
+            continue
+        children: dict[str | None, list[Span]] = {}
+        for span in spans:
+            children.setdefault(span.parent_id, []).append(span)
+        roots = children.get(None, [])
+        # A span whose remote parent never reached this tracer still
+        # renders, as its own root (cross-process tail of a trace).
+        known = {s.span_id for s in spans}
+        for span in spans:
+            if span.parent_id is not None and span.parent_id not in known:
+                roots.append(span)
+        lines.append(f"trace {tid}")
+        for i, root in enumerate(roots):
+            _render_span(root, children, 0, lines, i == len(roots) - 1)
+        lines.append("")
+    return "\n".join(lines).rstrip() or "(no spans recorded)"
+
+
+def trace_json(tracer: Tracer, trace_id: str | None = None) -> str:
+    """Machine-readable dump of the tracer's spans."""
+    spans = (
+        tracer.spans_of(trace_id) if trace_id is not None else tracer.spans
+    )
+    return canonical_json([span.to_dict() for span in spans])

@@ -121,6 +121,11 @@ class LetterOfCreditWorkflow:
 
     PARTIES = ("BuyerCo", "SellerCo", "IssuingBank")
 
+    @property
+    def telemetry(self):
+        """The platform's telemetry bundle (spans, metrics, events)."""
+        return self.network.telemetry
+
     def setup(self, extra_network_members: tuple[str, ...] = ()) -> None:
         """Onboard parties, create the segregated ledger, deploy logic."""
         for org in self.PARTIES + tuple(extra_network_members):
@@ -171,16 +176,22 @@ class LetterOfCreditWorkflow:
     ) -> LetterOfCredit:
         """Buyer applies; KYC PII goes to the off-chain collection only."""
         self._require_setup()
-        result = self.network.invoke(
-            self.channel_name, "BuyerCo", self.contract_id, "apply",
-            {
-                "loc_id": loc_id, "buyer": "BuyerCo", "seller": "SellerCo",
-                "bank": "IssuingBank", "amount": amount,
-            },
-            collection_writes={
-                "kyc-pii": {f"passport/{loc_id}": {"number": buyer_passport}}
-            },
-        )
+        # The passport attribute is recorded on purpose: the telemetry
+        # redaction filter must hash it before it ever reaches a span, and
+        # the leakage cross-check test pins that behavior.
+        with self.telemetry.span(
+            "loc.apply", loc_id=loc_id, buyer_passport=buyer_passport
+        ):
+            result = self.network.invoke(
+                self.channel_name, "BuyerCo", self.contract_id, "apply",
+                {
+                    "loc_id": loc_id, "buyer": "BuyerCo", "seller": "SellerCo",
+                    "bank": "IssuingBank", "amount": amount,
+                },
+                collection_writes={
+                    "kyc-pii": {f"passport/{loc_id}": {"number": buyer_passport}}
+                },
+            )
         loc = result.return_value
         return LetterOfCredit(
             loc_id=loc["loc_id"], buyer=loc["buyer"], seller=loc["seller"],
@@ -188,24 +199,25 @@ class LetterOfCreditWorkflow:
             status=loc["status"],
         )
 
-    def _advance(self, actor: str, loc_id: str) -> str:
-        result = self.network.invoke(
-            self.channel_name, actor, self.contract_id, "advance",
-            {"loc_id": loc_id},
-        )
+    def _advance(self, step: str, actor: str, loc_id: str) -> str:
+        with self.telemetry.span(f"loc.{step}", loc_id=loc_id, actor=actor):
+            result = self.network.invoke(
+                self.channel_name, actor, self.contract_id, "advance",
+                {"loc_id": loc_id},
+            )
         return result.return_value["status"]
 
     def issue(self, loc_id: str) -> str:
         """The bank vouches for the buyer."""
-        return self._advance("IssuingBank", loc_id)
+        return self._advance("issue", "IssuingBank", loc_id)
 
     def ship(self, loc_id: str) -> str:
         """The seller ships against the issued letter."""
-        return self._advance("SellerCo", loc_id)
+        return self._advance("ship", "SellerCo", loc_id)
 
     def pay(self, loc_id: str) -> str:
         """Settlement (by the bank if the buyer defaults)."""
-        return self._advance("IssuingBank", loc_id)
+        return self._advance("pay", "IssuingBank", loc_id)
 
     def status_of(self, loc_id: str, viewer: str) -> str:
         """Read the LoC status from *viewer*'s channel replica."""
@@ -221,6 +233,7 @@ class LetterOfCreditWorkflow:
             f"passport/{loc_id}", reason="GDPR erasure request",
             now=self.network.clock.now,
         )
+        self.telemetry.emit("loc.pii_erased", loc_id=loc_id)
 
     def pii_is_erased(self, loc_id: str) -> bool:
         channel = self.network.channel(self.channel_name)
@@ -232,10 +245,11 @@ class LetterOfCreditWorkflow:
 
     def run_full_lifecycle(self, loc_id: str = "LC-001") -> LetterOfCredit:
         """Apply -> issue -> ship -> pay, returning the final object."""
-        loc = self.apply_for_credit(loc_id, amount=250_000,
-                                    buyer_passport="P-99887766")
-        self.issue(loc_id)
-        self.ship(loc_id)
-        final_status = self.pay(loc_id)
+        with self.telemetry.span("loc.lifecycle", loc_id=loc_id):
+            loc = self.apply_for_credit(loc_id, amount=250_000,
+                                        buyer_passport="P-99887766")
+            self.issue(loc_id)
+            self.ship(loc_id)
+            final_status = self.pay(loc_id)
         loc.status = final_status
         return loc
