@@ -20,5 +20,11 @@ python -m pytest -x -q tests/telemetry/test_leakage_crosscheck.py
 python -m repro lint --strict src/repro/telemetry
 
 echo
+echo "== convergence gate (crash/recover/catch-up + strict lint of repro.recovery) =="
+python -m pytest -x -q tests/recovery tests/integration/test_recovery_chaos.py
+python -m repro converge
+python -m repro lint --strict src/repro/recovery
+
+echo
 echo "== strict self-lint (src/repro + examples) =="
 python -m repro lint --self --strict

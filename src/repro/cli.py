@@ -15,6 +15,10 @@ Subcommands expose the paper's artifacts without writing any code:
   platform and render the simulated-time span tree.
 - ``repro metrics``  — the metrics snapshot of such a run, or a diff of
   two saved snapshots.
+- ``repro recover``  — run the canonical crash/recover/catch-up scenario
+  on one platform and report convergence and catch-up privacy.
+- ``repro converge`` — the same scenario across all three platforms; the
+  CI convergence gate (exit 1 on any divergence or leak).
 
 Run ``python -m repro <subcommand> --help`` for details.
 """
@@ -210,6 +214,70 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_payload(result) -> dict:
+    """JSON shape shared by ``repro recover`` and ``repro converge``."""
+    return {
+        "platform": result.platform_name,
+        "crashed_node": result.crashed_node,
+        "checkpoint_sequence": result.checkpoint_sequence,
+        "statuses": result.statuses,
+        "converged": result.report.converged,
+        "divergences": [
+            {
+                "scope": d.scope,
+                "detail": d.detail,
+                "nodes": list(d.nodes),
+            }
+            for d in result.report.divergences
+        ],
+        "leak_ok": result.leak_ok,
+        "leak_findings": result.leak_findings,
+        "metrics": result.summary,
+        "ok": result.ok,
+    }
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.recovery.scenario import CANONICAL_SEED, run_recovery_scenario
+
+    result = run_recovery_scenario(
+        args.platform, seed=args.seed or CANONICAL_SEED
+    )
+    if args.json:
+        print(json.dumps(_scenario_payload(result), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_converge(args: argparse.Namespace) -> int:
+    from repro.recovery.scenario import (
+        CANONICAL_SEED,
+        run_all_recovery_scenarios,
+        run_recovery_scenario,
+    )
+
+    seed = args.seed or CANONICAL_SEED
+    if args.platform:
+        results = [run_recovery_scenario(args.platform, seed=seed)]
+    else:
+        results = run_all_recovery_scenarios(seed=seed)
+    if args.json:
+        print(json.dumps(
+            [_scenario_payload(r) for r in results], indent=2, sort_keys=True
+        ))
+    else:
+        for result in results:
+            print(result.render())
+            print()
+        failed = [r.platform_name for r in results if not r.ok]
+        print(
+            "convergence gate: "
+            + ("PASS" if not failed else f"FAIL ({', '.join(failed)})")
+        )
+    return 0 if all(r.ok for r in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -317,6 +385,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    recover = sub.add_parser(
+        "recover",
+        help="crash/recover/catch-up scenario on one platform",
+        description="Runs the canonical recovery scenario: a "
+        "letter-of-credit party crashes mid-lifecycle under a fault plan, "
+        "business continues without it (including interactions it is not "
+        "entitled to see), then the node recovers from its checkpoint and "
+        "catches up through the visibility-filtered protocol.  Reports "
+        "liveness, convergence, and catch-up privacy.  Exit 1 on any "
+        "divergence or entitlement widening.",
+    )
+    recover.add_argument(
+        "--platform", choices=("fabric", "corda", "quorum"), default="fabric"
+    )
+    recover.add_argument(
+        "--seed", default=None, help="override the canonical scenario seed"
+    )
+    recover.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    recover.set_defaults(func=_cmd_recover)
+
+    converge = sub.add_parser(
+        "converge",
+        help="recovery + convergence gate across all three platforms",
+        description="Runs the canonical recovery scenario on every "
+        "platform (or one, with --platform) and audits convergence.  "
+        "This is the CI convergence gate: exit 0 iff every platform "
+        "converges with zero divergence and no entitlement widening.",
+    )
+    converge.add_argument(
+        "--platform", choices=("fabric", "corda", "quorum"), default=None
+    )
+    converge.add_argument(
+        "--seed", default=None, help="override the canonical scenario seed"
+    )
+    converge.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    converge.set_defaults(func=_cmd_converge)
 
     return parser
 

@@ -226,11 +226,23 @@ class RaftCluster:
         with no outstanding vote.  Keeping the pre-crash ``voted_for``
         would let a stale self-vote from an abandoned candidacy block the
         node from voting in that same term after rejoining.
+
+        The uncommitted log suffix is truncated: entries beyond the
+        commit index were never acknowledged to any client and may
+        conflict with what a newer leader committed while this node was
+        down — a recovered former leader must not resurrect them.
         """
         node = self.node(f"raft-{operator}")
         node.crashed = False
         node.role = Role.FOLLOWER
         node.voted_for = None
+        if len(node.log) > node.commit_index:
+            truncated = len(node.log) - node.commit_index
+            node.log = node.log[: node.commit_index]
+            self.telemetry.metrics.counter("raft.log_truncations").inc(truncated)
+            self.telemetry.events.emit(
+                "raft.log_truncated", node=node.name, entries=truncated
+            )
 
     def logs_consistent(self) -> bool:
         """Safety check: all alive nodes agree on the committed prefix."""

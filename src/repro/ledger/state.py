@@ -85,5 +85,29 @@ class WorldState:
         """Plain dict copy of the current state (for assertions/audits)."""
         return {key: entry.value for key, entry in self._entries.items()}
 
+    def dump(self) -> dict[str, dict[str, Any]]:
+        """Checkpoint-serializable ``{key: {"value", "version"}}`` image.
+
+        Versions are included so a state restored from a checkpoint keeps
+        MVCC-compatible with replicas that never crashed.  History is
+        deliberately excluded: a crash loses it, like process memory —
+        only the committed tip is durable.
+        """
+        return {
+            key: {"value": entry.value, "version": entry.version}
+            for key, entry in sorted(self._entries.items())
+        }
+
+    @classmethod
+    def from_dump(cls, dump: dict[str, dict[str, Any]]) -> "WorldState":
+        """Rebuild a state from a :meth:`dump` image (history is empty)."""
+        state = cls()
+        for key in sorted(dump):
+            entry = dump[key]
+            state._entries[key] = VersionedValue(
+                value=entry["value"], version=int(entry["version"])
+            )
+        return state
+
     def __len__(self) -> int:
         return len(self._entries)

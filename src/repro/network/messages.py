@@ -65,6 +65,13 @@ class Message:
     ids only (never payload-derived data), so propagation adds no
     exposure: the leakage auditor ignores it and the telemetry
     cross-check test verifies it reveals nothing.
+
+    ``dedup_key`` makes delivery idempotent at the application layer:
+    two messages carrying the same key are applied at most once by the
+    recipient (the second is acknowledged but not handed to handlers).
+    Retransmissions from ``send_with_retry`` and replayed catch-up
+    blocks both rely on it.  Like ``trace`` it is an opaque label, never
+    payload-derived data, so it widens no observer's knowledge.
     """
 
     sender: str
@@ -76,3 +83,4 @@ class Message:
     message_id: int = field(default_factory=lambda: next(_sequence))
     sent_at: float = 0.0
     trace: tuple[str, str] | None = None
+    dedup_key: str | None = None

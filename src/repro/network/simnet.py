@@ -78,6 +78,7 @@ class NetworkStats:
         "dropped_by_partition": "net.dropped.partition",
         "dropped_by_crash": "net.dropped.crash",
         "retries": "net.retries",
+        "deduplicated": "net.deduplicated",
         "bytes_transferred": "net.bytes_transferred",
     }
 
@@ -161,11 +162,21 @@ class Node:
         self.name = name
         self.inbox: list[Message] = []
         self.observer = Observer(name)
+        self.seen_dedup_keys: set[str] = set()
         self._handlers: dict[str, Callable[[Message], None]] = {}
 
     def on(self, kind: str, handler: Callable[[Message], None]) -> None:
         """Register a handler invoked when a message of *kind* arrives."""
         self._handlers[kind] = handler
+
+    def has_applied(self, dedup_key: str) -> bool:
+        """Whether a message carrying *dedup_key* was already applied.
+
+        The set is volatile — a crash wipes it along with the inbox —
+        which is exactly why recovery re-applies from a durable
+        checkpoint instead of trusting in-memory dedup state.
+        """
+        return dedup_key in self.seen_dedup_keys
 
     def deliver(self, message: Message) -> None:
         self.inbox.append(message)
@@ -222,6 +233,8 @@ class SimNetwork:
         self._order = itertools.count()
         self._partitions: set[frozenset[str]] = set()
         self._delivered_at: dict[int, float] = {}
+        self._down: set[str] = set()
+        self._dedup_sequence = itertools.count(1)
 
     # -- topology
 
@@ -279,11 +292,46 @@ class SimNetwork:
         return self.fault_plan.is_partitioned(a, b, when)
 
     def is_crashed(self, name: str, now: float | None = None) -> bool:
-        """Whether the fault plan has *name* down at *now*."""
+        """Whether *name* is down — manually crashed or in a fault window."""
+        if name in self._down:
+            return True
         if self.fault_plan is None:
             return False
         when = self.clock.now if now is None else now
         return self.fault_plan.is_crashed(name, when)
+
+    # -- manual crash / recovery
+
+    def crash_node(self, name: str) -> None:
+        """Take *name* down until :meth:`recover_node`.
+
+        Unlike a fault-plan crash window this is explicit and open-ended:
+        the recovery subsystem uses it to model a node that stays dead
+        until someone brings it back.  Volatile per-node state — the
+        inbox and the dedup-key set — is lost, exactly like process
+        memory on a real crash.
+        """
+        node = self.node(name)
+        if name in self._down:
+            return
+        self._down.add(name)
+        node.inbox.clear()
+        node.seen_dedup_keys.clear()
+        self.telemetry.events.emit("net.node_crashed", node=name)
+
+    def recover_node(self, name: str) -> bool:
+        """Bring *name* back up; returns whether it was actually down.
+
+        Only clears the manual down flag — a fault-plan crash window
+        still applies until it closes (the plan is the environment, not
+        the operator).
+        """
+        self.node(name)
+        if name not in self._down:
+            return False
+        self._down.discard(name)
+        self.telemetry.events.emit("net.node_recovered", node=name)
+        return True
 
     # -- sending
 
@@ -350,12 +398,16 @@ class SimNetwork:
         kind: str,
         payload: Any,
         exposure: Exposure | None = None,
+        dedup_key: str | None = None,
     ) -> Message:
         """Queue a point-to-point message; returns the message envelope.
 
         The sender's current trace context (if a span is active on this
         network's tracer) is stamped onto the envelope so the delivery
-        side can attach its transit span to the same trace.
+        side can attach its transit span to the same trace.  A
+        *dedup_key* makes the message idempotent: the recipient applies
+        at most one message per key (duplicates are acked but dropped
+        before handlers run).
         """
         self._check_link(sender, recipient)
         context = self.telemetry.tracer.current_context()
@@ -368,6 +420,7 @@ class SimNetwork:
             size_bytes=self._payload_size(payload),
             sent_at=self.clock.now,
             trace=context.as_tuple() if context is not None else None,
+            dedup_key=dedup_key,
         )
         self._count("net.messages_sent")
         self.telemetry.metrics.counter("net.sent_by_kind", kind=kind).inc()
@@ -429,6 +482,7 @@ class SimNetwork:
         timeout: float = 0.25,
         max_attempts: int = 3,
         backoff: float = 2.0,
+        dedup_key: str | None = None,
     ) -> DeliveryReceipt:
         """Send until acknowledged, with timeout and exponential backoff.
 
@@ -440,6 +494,11 @@ class SimNetwork:
         recipient is permanent and raises immediately.  When every attempt
         times out, raises :class:`DeliveryTimeout` — a typed error in
         place of the silent drop the fire-and-forget path models.
+
+        Every attempt carries the same dedup key (caller-provided or
+        allocated per logical exchange), so a slow first copy arriving
+        after a retransmission is applied at most once.  The ack check
+        spans *all* attempts: any copy landing acknowledges the exchange.
 
         The whole exchange runs inside one span: every retry lands as a
         span event, the final attempt count and outcome are attributes,
@@ -453,12 +512,22 @@ class SimNetwork:
             raise DeliveryError("timeout must be > 0")
         if recipient not in self._nodes:
             raise DeliveryError(f"unknown recipient {recipient!r}")
+        if dedup_key is None:
+            dedup_key = f"swr:{next(self._dedup_sequence)}"
         tracer = self.telemetry.tracer
         with tracer.span(
             "net.send_with_retry", kind=kind, sender=sender, recipient=recipient
         ) as span:
             wait = timeout
             last_refusal: DeliveryError | None = None
+            copies: list[Message] = []
+
+            def acked() -> Message | None:
+                for copy in copies:
+                    if copy.message_id in self._delivered_at:
+                        return copy
+                return None
+
             for attempt in range(1, max_attempts + 1):
                 if attempt > 1:
                     self._count("net.retries")
@@ -471,29 +540,36 @@ class SimNetwork:
                         attempt=attempt,
                     )
                 try:
-                    message = self.send(
-                        sender, recipient, kind, payload, exposure=exposure
+                    copies.append(
+                        self.send(
+                            sender,
+                            recipient,
+                            kind,
+                            payload,
+                            exposure=exposure,
+                            dedup_key=dedup_key,
+                        )
                     )
                 except DeliveryError as refusal:
-                    message = None
                     last_refusal = refusal
                     tracer.add_event(span, "refused", attempt=attempt)
                 deadline = self.clock.now + wait
-                if message is not None:
+                if copies:
                     while (
                         self._queue
                         and self._queue[0].due <= deadline
-                        and not self.was_delivered(message)
+                        and acked() is None
                     ):
                         self.step()
-                    if self.was_delivered(message):
+                    delivered = acked()
+                    if delivered is not None:
                         tracer.set_attribute(span, "attempts", attempt)
                         tracer.set_attribute(span, "outcome", "delivered")
                         return DeliveryReceipt(
-                            message=message,
+                            message=delivered,
                             attempts=attempt,
                             delivered=True,
-                            delivered_at=self._delivered_at[message.message_id],
+                            delivered_at=self._delivered_at[delivered.message_id],
                         )
                 # Wait out the ack timeout before the next attempt.
                 self.clock.advance_to(deadline)
@@ -546,7 +622,23 @@ class SimNetwork:
                 size_bytes=message.size_bytes,
             )
         self._delivered_at[message.message_id] = event.due
-        self._nodes[message.recipient].deliver(message)
+        node = self._nodes[message.recipient]
+        if message.dedup_key is not None:
+            if message.dedup_key in node.seen_dedup_keys:
+                # Acked above (the wire did deliver it) but applied zero
+                # times past the first copy: retransmissions and replayed
+                # catch-up items are idempotent.
+                self._count("net.deduplicated")
+                self.telemetry.events.emit(
+                    "net.dedup",
+                    time=event.due,
+                    kind=message.kind,
+                    sender=message.sender,
+                    recipient=message.recipient,
+                )
+                return True
+            node.seen_dedup_keys.add(message.dedup_key)
+        node.deliver(message)
         return True
 
     def run(self, max_steps: int = 1_000_000) -> int:

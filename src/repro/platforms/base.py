@@ -83,6 +83,11 @@ class Platform:
         self.membership = MembershipService()
         self.membership.register_authority(self.ca)
         self.parties: dict[str, Party] = {}
+        # Durable checkpoint storage: lives outside the nodes (disk
+        # survives the process), so it is *not* wiped by crash().
+        from repro.recovery.checkpoint import CheckpointStore
+
+        self.checkpoints = CheckpointStore(telemetry=self.telemetry)
 
     # -- onboarding
 
@@ -112,6 +117,106 @@ class Platform:
         ordering principal (orderer, notary, sequencer).
         """
         self.network.fault_plan = plan
+
+    # -- crash recovery
+    #
+    # The template methods below are platform-independent; subclasses
+    # implement the four hooks to define what is durable, what a crash
+    # loses, and — critically — what a rejoining node is *entitled* to
+    # be re-sent during catch-up (its channels, its party chains, its
+    # private payloads; never anyone else's).
+
+    def checkpoint_node(self, name: str):
+        """Flush *name*'s durable snapshot to the checkpoint store."""
+        from repro.recovery.checkpoint import NodeCheckpoint
+
+        self.party(name)
+        with self.telemetry.span(
+            "recovery.checkpoint", node=name, platform=self.platform_name
+        ) as span:
+            data = self._checkpoint_data(name)
+            checkpoint = NodeCheckpoint(
+                node=name,
+                platform=self.platform_name,
+                sequence=self.checkpoints.next_sequence(name),
+                taken_at=self.clock.now,
+                **data,
+            )
+            saved = self.checkpoints.save(checkpoint)
+            self.telemetry.tracer.set_attribute(span, "sequence", saved.sequence)
+        return saved
+
+    def crash(self, name: str) -> None:
+        """Crash party *name*: network down + volatile state lost.
+
+        Durable artifacts — checkpoints, the shared chains, off-chain
+        stores — survive; everything the subclass declares volatile in
+        :meth:`_drop_volatile` (state replicas, vaults, payload caches)
+        is wiped, like process memory.
+        """
+        self.party(name)
+        if self.network.is_crashed(name):
+            return
+        self.network.crash_node(name)
+        self._drop_volatile(name)
+        self.telemetry.metrics.counter("recovery.crashes").inc()
+        self.telemetry.events.emit(
+            "recovery.crash", node=name, platform=self.platform_name
+        )
+
+    def recover(self, name: str):
+        """Bring *name* back: restore its checkpoint, then catch up.
+
+        Idempotent — recovering a node that is already up is a no-op.
+        Catch-up is visibility-filtered by the platform hook: live peers
+        re-send only what *name* is entitled to see.  Returns the
+        checkpoint used (``None`` if the node never checkpointed and
+        rebuilt from genesis).
+        """
+        self.party(name)
+        if not self.network.recover_node(name):
+            return self.checkpoints.latest(name)
+        checkpoint = self.checkpoints.latest(name)
+        with self.telemetry.span(
+            "recovery.catchup", node=name, platform=self.platform_name
+        ) as span:
+            self._restore_checkpoint(name, checkpoint)
+            summary = self._catch_up(name, checkpoint) or {}
+            for key in sorted(summary):
+                self.telemetry.tracer.set_attribute(span, key, summary[key])
+        self.telemetry.metrics.counter("recovery.recoveries").inc()
+        self.telemetry.events.emit(
+            "recovery.recover",
+            node=name,
+            platform=self.platform_name,
+            from_sequence=None if checkpoint is None else checkpoint.sequence,
+        )
+        return checkpoint
+
+    def _checkpoint_data(self, name: str) -> dict:
+        """Subclass hook: heights/state_hashes/pending/snapshots for *name*."""
+        raise PlatformError(
+            f"{self.platform_name} does not support node checkpoints"
+        )
+
+    def _drop_volatile(self, name: str) -> None:
+        """Subclass hook: wipe *name*'s in-memory state on crash."""
+
+    def _restore_checkpoint(self, name: str, checkpoint) -> None:
+        """Subclass hook: reload *name*'s state images from *checkpoint*."""
+        raise PlatformError(
+            f"{self.platform_name} does not support node recovery"
+        )
+
+    def _catch_up(self, name: str, checkpoint) -> dict:
+        """Subclass hook: visibility-filtered re-sync since *checkpoint*.
+
+        Returns a summary dict recorded as span attributes
+        (e.g. ``{"items": 3, "blocks_behind": 2}``).
+        """
+        raise PlatformError(
+            f"{self.platform_name} does not support node recovery"
+        )
 
     # -- capability probing (Table 1)
 

@@ -27,6 +27,7 @@ from repro.common.errors import (
     ValidationError,
 )
 from repro.core.mechanisms import Mechanism
+from repro.crypto.hashing import hash_hex
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.onetime import OneTimeIdentity, OneTimeKeyFactory, resolve_owner
 from repro.crypto.symmetric import SymmetricKey
@@ -43,6 +44,7 @@ from repro.platforms.corda.transactions import (
     WireTransaction,
 )
 from repro.platforms.corda.vault import Vault
+from repro.recovery.catchup import catchup_dedup_key, ship
 
 NOTARY_NODE = "corda-notary"
 
@@ -343,6 +345,103 @@ class CordaNetwork(Platform):
             )
             self.vaults[requester].transactions.setdefault(stx.wire.tx_id, stx)
         return disclosure
+
+    # ------------------------------------------------------------------
+    # Crash recovery (Platform hooks)
+    #
+    # Durable per node: checkpoints only — the vault IS the node's store,
+    # and it is volatile here (the crash wipes it).  Catch-up therefore
+    # re-ships transaction chains, and the visibility rule is Corda's own:
+    # a peer serves a rejoining node exactly the transactions that node
+    # was a party to (output participant or command signer), never the
+    # rest of its vault.  The unconsumed-state view is then rebuilt as a
+    # pure function of the recovered transaction store.
+    # ------------------------------------------------------------------
+
+    def _entitled_parties(self, stx: SignedTransaction) -> set[str]:
+        """Who is entitled to hold *stx*: participants and signers."""
+        return (
+            self._participants_of(stx.wire) | self._signers_of(stx.wire)
+        )
+
+    def _checkpoint_data(self, name: str) -> dict:
+        vault = self.vaults[name]
+        refs = sorted(
+            ([ref.tx_id, ref.index] for ref in vault.unconsumed),
+        )
+        return {
+            "heights": {"vault": len(vault.transactions)},
+            "state_hashes": {
+                "vault": hash_hex("repro/recovery/corda-vault", refs)
+            },
+            "pending": {},
+            "snapshots": {"tx_ids": sorted(vault.transactions)},
+        }
+
+    def _drop_volatile(self, name: str) -> None:
+        self.vaults[name] = Vault(owner=name)
+
+    def _restore_checkpoint(self, name: str, checkpoint) -> None:
+        # The checkpoint records *which* transactions the vault held, not
+        # their content (that would defeat the point of measuring
+        # catch-up); the store is repopulated by entitled re-shipping.
+        return None
+
+    def _catch_up(self, name: str, checkpoint) -> dict:
+        vault = self.vaults[name]
+        known_before = (
+            set(checkpoint.snapshots.get("tx_ids", []))
+            if checkpoint is not None
+            else set()
+        )
+        items = 0
+        for provider in sorted(self.parties):
+            if provider == name:
+                continue
+            if self.network.is_crashed(provider) or self.network.is_partitioned(
+                provider, name
+            ):
+                continue
+            provider_vault = self.vaults[provider]
+            for tx_id in sorted(provider_vault.transactions):
+                if vault.knows_transaction(tx_id):
+                    continue
+                stx = provider_vault.transactions[tx_id]
+                entitled = self._entitled_parties(stx)
+                if name not in entitled:
+                    # The privacy filter: a peer never re-serves a
+                    # transaction the rejoining node was not party to.
+                    continue
+                dedup = catchup_dedup_key("corda", "vault", name, tx_id)
+                fresh = not self.network.node(name).has_applied(dedup)
+                delivered = ship(
+                    self.network,
+                    provider,
+                    name,
+                    "catchup-tx",
+                    {"tx_id": tx_id, "known_before": tx_id in known_before},
+                    exposure=Exposure.of(
+                        identities=entitled & set(self.parties),
+                        data_keys={
+                            k
+                            for state in stx.wire.outputs
+                            for k in state.data
+                        },
+                        code_ids={
+                            state.contract_id for state in stx.wire.outputs
+                        },
+                    ),
+                    dedup_key=dedup,
+                )
+                if delivered and fresh:
+                    vault.transactions[tx_id] = stx
+                    items += 1
+        vault.rebuild_unconsumed()
+        self.telemetry.metrics.counter("recovery.catchup.items").inc(items)
+        # "Behind" for Corda is transaction-granular: how many entitled
+        # transactions were re-shipped beyond the checkpointed store.
+        behind = len([t for t in vault.transactions if t not in known_before])
+        return {"items": items, "blocks_behind": behind}
 
     # ------------------------------------------------------------------
     # Table 1 capability probes (Corda column)

@@ -32,6 +32,26 @@ class Vault:
             if self.owner in state.participants:
                 self.unconsumed[StateRef(tx_id=wire.tx_id, index=index)] = state
 
+    def rebuild_unconsumed(self) -> None:
+        """Recompute the unconsumed-state index from stored transactions.
+
+        A recovering node's vault is repopulated transaction-by-transaction
+        (catch-up ships only entitled chains); once the store is complete,
+        the unconsumed view is a pure function of it: every output this
+        owner participates in, minus every ref consumed by any known
+        transaction.
+        """
+        consumed: set[StateRef] = set()
+        for stx in self.transactions.values():
+            consumed.update(stx.wire.inputs)
+        self.unconsumed = {}
+        for tx_id in sorted(self.transactions):
+            wire = self.transactions[tx_id].wire
+            for index, state in enumerate(wire.outputs):
+                ref = StateRef(tx_id=wire.tx_id, index=index)
+                if self.owner in state.participants and ref not in consumed:
+                    self.unconsumed[ref] = state
+
     def states_of_contract(self, contract_id: str) -> list[tuple[StateRef, ContractState]]:
         """Unconsumed states for one contract, sorted for determinism."""
         return sorted(

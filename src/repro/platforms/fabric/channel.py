@@ -118,9 +118,18 @@ class Channel:
         self.require_member(org)
         return self.states[org]
 
-    def reference_state(self) -> WorldState:
-        """Any replica (they are identical); used for validation reads."""
-        return next(iter(self.states.values()))
+    def reference_state(self, skip: frozenset[str] | set[str] = frozenset()) -> WorldState:
+        """A live replica (they are identical); used for validation reads.
+
+        *skip* excludes members whose replicas cannot be trusted right
+        now — crashed peers whose state lags until they catch up.
+        """
+        for member, state in self.states.items():
+            if member not in skip:
+                return state
+        raise ValidationError(
+            f"channel {self.name!r} has no live replica to validate against"
+        )
 
     def replicas_consistent(self) -> bool:
         """True iff every member's replica holds the same snapshot."""

@@ -28,6 +28,7 @@ from repro.crypto.anoncred import (
     CredentialIssuer,
     verify_presentation,
 )
+from repro.crypto.hashing import hash_hex
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.symmetric import SymmetricKey
 from repro.execution.contracts import SmartContract
@@ -43,11 +44,13 @@ from repro.ledger.transaction import (
     Transaction,
     WriteEntry,
 )
+from repro.ledger.state import WorldState
 from repro.ledger.validation import EndorsementPolicy, verify_endorsements
 from repro.network.messages import Exposure
 from repro.platforms.base import Platform, ProbeResult, SupportLevel
 from repro.platforms.fabric.channel import Channel
 from repro.platforms.fabric.pdc import PrivateDataCollection
+from repro.recovery.catchup import catchup_dedup_key, pick_provider, ship
 
 ORDERER_NODE = "fabric-orderer"
 ANONYMOUS_CLIENT = "anonymous-client"
@@ -173,6 +176,10 @@ class FabricNetwork(Platform):
 
     # -- the execute-order-validate flow
 
+    def _crashed_members(self, channel: Channel) -> set[str]:
+        """Members whose peers are currently down (miss blocks, lag state)."""
+        return {m for m in channel.members if self.network.is_crashed(m)}
+
     def _endorse(
         self,
         channel: Channel,
@@ -184,7 +191,7 @@ class FabricNetwork(Platform):
         proposal_exposure: Exposure,
     ):
         """Send proposals, execute on each endorser, check agreement."""
-        reference = channel.reference_state()
+        reference = channel.reference_state(skip=self._crashed_members(channel))
         results = []
         with self.telemetry.span(
             "fabric.endorse",
@@ -429,11 +436,18 @@ class FabricNetwork(Platform):
         """
         results: list[InvokeResult] = []
         block_txs: list[Transaction] = []
+        # A crashed member misses block delivery and its replica lags —
+        # that is what checkpoint + catch-up recover from later.  Live
+        # members keep committing as long as the endorsement policy can
+        # still be met without the crashed peer.
+        crashed = self._crashed_members(channel)
         for proposal in proposals:
             tx = proposal.tx
             data_keys = {w.key for w in tx.writes} | {r.key for r in tx.reads}
             identities = set(tx.metadata.get("participants", []))
             for member in sorted(channel.members):
+                if member in crashed:
+                    continue
                 self.network.send(
                     ORDERER_NODE,
                     member,
@@ -458,7 +472,7 @@ class FabricNetwork(Platform):
                         code = ValidationCode.ENDORSEMENT_POLICY_FAILURE
                 # 2. MVCC read-set check against the evolving state.
                 if code is ValidationCode.VALID:
-                    reference = channel.reference_state()
+                    reference = channel.reference_state(skip=crashed)
                     for read in tx.reads:
                         if reference.version(read.key) != read.version:
                             code = ValidationCode.MVCC_READ_CONFLICT
@@ -474,7 +488,9 @@ class FabricNetwork(Platform):
                 "fabric.commit", channel=channel.name, valid=code is ValidationCode.VALID
             ):
                 if code is ValidationCode.VALID:
-                    for state in channel.states.values():
+                    for member, state in channel.states.items():
+                        if member in crashed:
+                            continue
                         for write in tx.writes:
                             if write.is_delete:
                                 if state.exists(write.key):
@@ -502,6 +518,105 @@ class FabricNetwork(Platform):
         if len(committed) == 1:
             return committed[0]
         return None
+
+    # ------------------------------------------------------------------
+    # Crash recovery (Platform hooks)
+    #
+    # Durable per peer: the chain (append-only, shared), PDC stores
+    # (off-chain storage services), and checkpoints.  Volatile: the
+    # world-state replica and the network node's inbox/dedup memory.
+    # Catch-up ships per-channel blocks only — Fabric's visibility rule:
+    # a rejoining member receives its channels' transactions, with PDC
+    # values reduced to their on-chain anchors (``tx.private_hashes``),
+    # never another channel's traffic.
+    # ------------------------------------------------------------------
+
+    def _member_channels(self, name: str) -> list[Channel]:
+        return [
+            self.channels[channel_name]
+            for channel_name in sorted(self.channels)
+            if name in self.channels[channel_name].members
+        ]
+
+    def _checkpoint_data(self, name: str) -> dict:
+        heights: dict[str, int] = {}
+        state_hashes: dict[str, str] = {}
+        snapshots: dict[str, dict] = {}
+        for channel in self._member_channels(name):
+            heights[channel.name] = channel.chain.height
+            snapshots[channel.name] = channel.states[name].dump()
+            state_hashes[channel.name] = hash_hex(
+                "repro/recovery/fabric-state", channel.states[name].snapshot()
+            )
+        return {
+            "heights": heights,
+            "state_hashes": state_hashes,
+            "pending": {},
+            "snapshots": snapshots,
+        }
+
+    def _drop_volatile(self, name: str) -> None:
+        for channel in self._member_channels(name):
+            channel.states[name] = WorldState()
+
+    def _restore_checkpoint(self, name: str, checkpoint) -> None:
+        for channel in self._member_channels(name):
+            if checkpoint is not None and channel.name in checkpoint.snapshots:
+                channel.states[name] = WorldState.from_dump(
+                    checkpoint.snapshots[channel.name]
+                )
+            else:
+                channel.states[name] = WorldState()
+
+    def _catch_up(self, name: str, checkpoint) -> dict:
+        items = 0
+        blocks_behind = 0
+        for channel in self._member_channels(name):
+            since = checkpoint.height_of(channel.name) if checkpoint else 0
+            provider = pick_provider(self.network, channel.members, name)
+            if provider is None:
+                continue  # no live peer on this channel; stays behind
+            committed = set(channel.committed_tx_ids)
+            state = channel.states[name]
+            for block in channel.chain.blocks():
+                if block.height <= since:
+                    continue
+                blocks_behind += 1
+                for tx in block.transactions:
+                    dedup = catchup_dedup_key("fabric", channel.name, name, tx.tx_id)
+                    fresh = not self.network.node(name).has_applied(dedup)
+                    delivered = ship(
+                        self.network,
+                        provider,
+                        name,
+                        "catchup-block",
+                        {
+                            "tx_id": tx.tx_id,
+                            "channel": channel.name,
+                            "height": block.height,
+                            # PDC values never travel: anchors only.
+                            "private_hashes": dict(tx.private_hashes),
+                        },
+                        exposure=Exposure.of(
+                            identities=set(tx.metadata.get("participants", [])),
+                            data_keys={w.key for w in tx.writes}
+                            | {r.key for r in tx.reads},
+                        ),
+                        dedup_key=dedup,
+                    )
+                    if not (delivered and fresh):
+                        continue
+                    items += 1
+                    if tx.tx_id not in committed:
+                        continue  # invalid txs are on-chain but never applied
+                    for write in tx.writes:
+                        if write.is_delete:
+                            if state.exists(write.key):
+                                state.delete(write.key)
+                        else:
+                            state.put(write.key, write.value)
+        self.telemetry.metrics.counter("recovery.catchup.items").inc(items)
+        return {"items": items, "blocks_behind": blocks_behind}
 
     # ------------------------------------------------------------------
     # Table 1 capability probes (HLF column)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import (
     ContractError,
+    DeliveryError,
     DoubleSpendError,
     MembershipError,
     OrderingError,
@@ -29,6 +30,7 @@ from repro.common.errors import (
     ValidationError,
 )
 from repro.core.mechanisms import Mechanism
+from repro.crypto.hashing import hash_hex
 from repro.crypto.symmetric import SymmetricKey
 from repro.execution.contracts import SmartContract, StateView
 from repro.ledger.block import Chain
@@ -38,8 +40,20 @@ from repro.ledger.transaction import Transaction, WriteEntry
 from repro.network.messages import Exposure
 from repro.platforms.base import Platform, ProbeResult, SupportLevel
 from repro.platforms.quorum.txmanager import PrivateTransactionManager
+from repro.recovery.catchup import catchup_dedup_key, pick_provider, ship
 
 SEQUENCER_NODE = "quorum-consensus"
+
+
+@dataclass
+class PendingRedelivery:
+    """A private payload owed to a currently unreachable participant."""
+
+    sender: str
+    participant: str
+    payload_hash: str
+    position: int
+    participants: tuple[str, ...]
 
 
 @dataclass
@@ -72,6 +86,13 @@ class QuorumNetwork(Platform):
         self.managers: dict[str, PrivateTransactionManager] = {}
         self.contracts: dict[str, SmartContract] = {}
         self.contract_hosts: dict[str, set[str]] = {}
+        # Recovery bookkeeping: which chain positions each node has
+        # applied privately (idempotence guard for redelivery/replay),
+        # the per-node public watermark, and payloads owed to peers that
+        # were unreachable when their transaction committed.
+        self._applied_private: dict[str, set[int]] = {}
+        self._applied_upto: dict[str, int] = {}
+        self._redelivery_queue: list[PendingRedelivery] = []
         self.consensus_operator = consensus_operator
         self.sequencer = OrderingService(
             SEQUENCER_NODE,
@@ -90,6 +111,8 @@ class QuorumNetwork(Platform):
         self.managers[name] = PrivateTransactionManager(
             name, rng=self.rng.fork("tm:" + name)
         )
+        self._applied_private[name] = set()
+        self._applied_upto[name] = 0
         if self.consensus_operator == "member" and len(self.parties) == 1:
             # First onboarded member operates consensus in this deployment.
             self.sequencer.operator = name
@@ -149,6 +172,59 @@ class QuorumNetwork(Platform):
 
     # -- transaction paths
 
+    def _reachable(self, sender: str, target: str) -> bool:
+        return not (
+            self.network.is_crashed(target)
+            or self.network.is_partitioned(sender, target)
+        )
+
+    def _broadcast_targets(self, sender: str) -> list[str]:
+        """Nodes a broadcast from *sender* can reach right now.
+
+        A crashed or partitioned peer simply misses the gossip (it would
+        be dropped at delivery anyway) — it does not veto everyone
+        else's transaction.
+        """
+        return [
+            node
+            for node in self.network.nodes()
+            if node != sender and self._reachable(sender, node)
+        ]
+
+    def _live_parties(self) -> list[str]:
+        return [
+            node for node in sorted(self.parties)
+            if not self.network.is_crashed(node)
+        ]
+
+    def _mark_applied(self, nodes: list[str], position: int) -> None:
+        for node in nodes:
+            if position > self._applied_upto.get(node, 0):
+                self._applied_upto[node] = position
+
+    def _apply_private(
+        self, node: str, position: int, payload_hash: str
+    ) -> tuple[object, bool]:
+        """Resolve + execute one private payload on *node*, at most once.
+
+        The chain position (not the payload hash, which repeats for
+        byte-identical payloads) is the idempotence key, so replayed
+        catch-up blocks and queued redeliveries never double-apply.
+        """
+        applied = self._applied_private.setdefault(node, set())
+        if position in applied:
+            return None, False
+        resolved = self.managers[node].resolve(payload_hash)
+        value, __ = self._execute(
+            node,
+            resolved["contract"],
+            resolved["function"],
+            resolved["args"],
+            self.private_states[node],
+        )
+        applied.add(position)
+        return value, True
+
     def _execute(
         self,
         node: str,
@@ -177,16 +253,20 @@ class QuorumNetwork(Platform):
         """A normal Ethereum-style transaction: everyone sees everything."""
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
+        if self.network.is_crashed(sender):
+            raise DeliveryError(f"node {sender!r} is down")
         self._require_sequencer()
         with self.telemetry.span(
             "quorum.public_tx", sender=sender, contract=contract_id
         ):
+            # A crashed node misses the block; catch-up replays it later.
+            live = self._live_parties()
             return_values = {}
             view = None
             with self.telemetry.span(
-                "quorum.execute", nodes=len(self.parties)
+                "quorum.execute", nodes=len(live)
             ):
-                for node in sorted(self.parties):
+                for node in live:
                     value, view = self._execute(
                         node, contract_id, function, args, self.public_states[node]
                     )
@@ -208,11 +288,13 @@ class QuorumNetwork(Platform):
             )
             with self.telemetry.span("quorum.order"):
                 self.network.broadcast(
-                    sender, "public-tx", {"tx_id": tx.tx_id}, exposure=exposure
+                    sender, "public-tx", {"tx_id": tx.tx_id}, exposure=exposure,
+                    recipients=self._broadcast_targets(sender),
                 )
                 self.sequencer.submit(tx)
                 self.sequencer.cut_batch("quorum-public", force=True)
                 self.chain.append([tx], self.clock.now)
+            self._mark_applied(live, self.chain.height)
         return QuorumTxResult(
             tx=tx, payload_hash=None,
             participants=sorted(self.parties), return_values=return_values,
@@ -231,11 +313,28 @@ class QuorumNetwork(Platform):
         Faithful to the paper's two leaks: (1) the broadcast carries the
         participant list in the clear; (2) there is no cross-group double
         spend check because non-participants cannot validate.
+
+        Unreachable recipients: with ``resilient_delivery`` the
+        transaction proceeds for the reachable participants and the
+        payload is queued for redelivery-until-available
+        (:meth:`redeliver_pending`); without it, the transaction fails
+        fast with a typed refusal *before* any state mutation, so a
+        retry after heal cannot double-apply.
         """
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
+        if self.network.is_crashed(sender):
+            raise DeliveryError(f"node {sender!r} is down")
         self._require_sequencer()
         participants = sorted(set(private_for) | {sender})
+        recipients = [p for p in participants if p != sender]
+        unavailable = [
+            p for p in recipients if not self._reachable(sender, p)
+        ]
+        if unavailable and not self.resilient_delivery:
+            # Surface the same refusal a direct send would raise.
+            self.network._check_link(sender, unavailable[0])
+            raise DeliveryError(f"node {unavailable[0]!r} is unreachable")
         with self.telemetry.span(
             "quorum.private_tx",
             sender=sender,
@@ -243,42 +342,42 @@ class QuorumNetwork(Platform):
             participants=len(participants),
         ):
             payload = {"contract": contract_id, "function": function, "args": args}
-            # The encrypted payload crosses the wire once per recipient; the
-            # ciphertext itself exposes nothing (empty exposure).  These sends
-            # precede every private-state mutation (distribution itself is
-            # idempotent), so a partitioned recipient fails the transaction
-            # cleanly and a retry after heal cannot double-apply.
+            # The encrypted payload crosses the wire once per reachable
+            # recipient; the ciphertext itself exposes nothing (empty
+            # exposure).  These sends precede every private-state
+            # mutation (distribution itself is idempotent).
             with self.telemetry.span("quorum.distribute"):
                 payload_hash = self.managers[sender].distribute(
-                    payload, participants, self.managers
+                    payload, participants, self.managers,
+                    skip=tuple(unavailable),
                 )
                 self.telemetry.metrics.counter(
                     "crypto.ops", mechanism="private-payload-encryption"
-                ).inc(len(participants) - 1)
+                ).inc(len(participants) - 1 - len(unavailable))
                 payload_hop = (
                     self.network.send_with_retry
                     if self.resilient_delivery
                     else self.network.send
                 )
-                for participant in participants:
-                    if participant != sender:
+                for participant in recipients:
+                    if participant not in unavailable:
                         payload_hop(
                             sender, participant, "private-payload",
                             {"hash": payload_hash}, exposure=Exposure(),
                         )
-            # Participants resolve the payload and update their private state.
+            # Participants resolve the payload and update their private
+            # state.  The transaction will land at the next chain height;
+            # applying under that position makes replay idempotent.
+            position = self.chain.height + 1
             return_values = {}
             with self.telemetry.span(
-                "quorum.execute", nodes=len(participants)
+                "quorum.execute", nodes=len(participants) - len(unavailable)
             ):
                 for participant in participants:
-                    resolved = self.managers[participant].resolve(payload_hash)
-                    value, __ = self._execute(
-                        participant,
-                        resolved["contract"],
-                        resolved["function"],
-                        resolved["args"],
-                        self.private_states[participant],
+                    if participant in unavailable:
+                        continue
+                    value, __ = self._apply_private(
+                        participant, position, payload_hash
                     )
                     return_values[participant] = value
             # The public transaction: hash only — but participants in the clear.
@@ -292,15 +391,248 @@ class QuorumNetwork(Platform):
             leak_exposure = Exposure.of(identities=set(participants))
             with self.telemetry.span("quorum.order"):
                 self.network.broadcast(
-                    sender, "private-tx", {"tx_id": tx.tx_id}, exposure=leak_exposure
+                    sender, "private-tx", {"tx_id": tx.tx_id},
+                    exposure=leak_exposure,
+                    recipients=self._broadcast_targets(sender),
                 )
                 self.sequencer.submit(tx)
                 self.sequencer.cut_batch("quorum-public", force=True)
                 self.chain.append([tx], self.clock.now)
+            self._mark_applied(self._live_parties(), self.chain.height)
+            for participant in unavailable:
+                self._redelivery_queue.append(
+                    PendingRedelivery(
+                        sender=sender,
+                        participant=participant,
+                        payload_hash=payload_hash,
+                        position=position,
+                        participants=tuple(participants),
+                    )
+                )
+                self.telemetry.metrics.counter("recovery.redelivery.queued").inc()
+                self.telemetry.events.emit(
+                    "recovery.redelivery_queued",
+                    participant=participant,
+                    position=position,
+                )
         return QuorumTxResult(
             tx=tx, payload_hash=payload_hash,
             participants=participants, return_values=return_values,
         )
+
+    def redeliver_pending(self) -> int:
+        """Serve queued private payloads to now-reachable participants.
+
+        The retry-until-available half of resilient private delivery: a
+        participant that was crashed or partitioned when its transaction
+        committed receives the payload (entitlement re-checked by the
+        holding manager) and applies it under the original chain
+        position, so a participant that already caught up via
+        :meth:`recover` is not double-applied.  Returns how many queued
+        payloads were applied; still-unreachable ones stay queued.
+        """
+        applied = 0
+        remaining: list[PendingRedelivery] = []
+        for item in self._redelivery_queue:
+            node = item.participant
+            if item.position in self._applied_private.get(node, set()):
+                continue  # already applied through crash catch-up
+            if self.network.is_crashed(node):
+                remaining.append(item)
+                continue
+            if not self._ensure_payload(node, item.payload_hash, item.participants):
+                remaining.append(item)
+                continue
+            __, did_apply = self._apply_private(
+                node, item.position, item.payload_hash
+            )
+            if did_apply:
+                applied += 1
+                self._mark_applied([node], item.position)
+                self.telemetry.metrics.counter("recovery.redelivery.applied").inc()
+        self._redelivery_queue = remaining
+        return applied
+
+    # ------------------------------------------------------------------
+    # Crash recovery (Platform hooks)
+    #
+    # Durable per node: the public chain (shared, append-only) and
+    # checkpoints.  Volatile: public/private state, the transaction
+    # manager's payload store, and the applied-position bookkeeping.
+    # Catch-up visibility rule: the public chain replays to everyone,
+    # but private payloads are re-delivered only by managers that hold
+    # them and only to nodes named in the payload's own participant
+    # list (enforced in ``PrivateTransactionManager.redeliver``).
+    # ------------------------------------------------------------------
+
+    def _ensure_payload(
+        self, name: str, payload_hash: str, participants: tuple[str, ...] | list[str]
+    ) -> bool:
+        """Get *payload_hash* into *name*'s manager from a live holder."""
+        manager = self.managers[name]
+        if manager.has_payload(payload_hash):
+            return True
+        for holder in sorted(participants):
+            if holder == name or holder not in self.managers:
+                continue
+            if not self._reachable(holder, name):
+                continue
+            if not self.managers[holder].has_payload(payload_hash):
+                continue
+            self.managers[holder].redeliver(payload_hash, manager)
+            ship(
+                self.network,
+                holder,
+                name,
+                "catchup-payload",
+                {"hash": payload_hash},
+                exposure=Exposure(),  # ciphertext: reveals nothing
+                dedup_key=catchup_dedup_key("quorum", "payload", name, payload_hash),
+            )
+            self.telemetry.metrics.counter("recovery.redelivered").inc()
+            return True
+        return False
+
+    def _checkpoint_data(self, name: str) -> dict:
+        return {
+            "heights": {"public": self._applied_upto.get(name, 0)},
+            "state_hashes": {
+                "public": hash_hex(
+                    "repro/recovery/quorum-public",
+                    self.public_states[name].snapshot(),
+                ),
+                "private": hash_hex(
+                    "repro/recovery/quorum-private",
+                    self.private_states[name].snapshot(),
+                ),
+            },
+            "pending": {
+                "payload_hashes": self.managers[name].payload_hashes(),
+                "applied_private": sorted(self._applied_private.get(name, ())),
+            },
+            "snapshots": {
+                "public": self.public_states[name].dump(),
+                "private": self.private_states[name].dump(),
+            },
+        }
+
+    def _drop_volatile(self, name: str) -> None:
+        self.public_states[name] = WorldState()
+        self.private_states[name] = WorldState()
+        self.managers[name] = PrivateTransactionManager(
+            name, rng=self.rng.fork("tm:" + name)
+        )
+        self._applied_private[name] = set()
+        self._applied_upto[name] = 0
+
+    def _restore_checkpoint(self, name: str, checkpoint) -> None:
+        if checkpoint is None:
+            return
+        self.public_states[name] = WorldState.from_dump(
+            checkpoint.snapshots.get("public", {})
+        )
+        self.private_states[name] = WorldState.from_dump(
+            checkpoint.snapshots.get("private", {})
+        )
+        self._applied_upto[name] = checkpoint.height_of("public")
+        self._applied_private[name] = {
+            int(position)
+            for position in checkpoint.pending.get("applied_private", [])
+        }
+
+    def _catch_up(self, name: str, checkpoint) -> dict:
+        provider = pick_provider(self.network, self.parties, name)
+        if provider is None:
+            return {"items": 0, "blocks_behind": 0}
+        items = 0
+        blocks_behind = 0
+        # 1. Re-fetch the payloads the manager held at checkpoint time
+        #    (the durable record of the pending queue): the ciphertexts
+        #    themselves are volatile, the entitlement is not.
+        held_hashes = (
+            list(checkpoint.pending.get("payload_hashes", []))
+            if checkpoint is not None
+            else []
+        )
+        payload_participants: dict[str, tuple[str, ...]] = {}
+        for tx in self.chain.transactions():
+            if tx.metadata.get("kind") == "private":
+                payload_participants[tx.private_hashes["payload"]] = tuple(
+                    tx.metadata.get("participants", ())
+                )
+        for payload_hash in held_hashes:
+            entitled = payload_participants.get(payload_hash, ())
+            if name in entitled and self._ensure_payload(
+                name, payload_hash, entitled
+            ):
+                items += 1
+        # 2. Replay the public chain above the node's watermark: public
+        #    writes apply directly; private transactions re-execute iff
+        #    this node is in the participant list and the payload can be
+        #    re-fetched from an entitled live holder.
+        since = self._applied_upto.get(name, 0)
+        state = self.public_states[name]
+        for block in self.chain.blocks():
+            if block.height <= since:
+                continue
+            blocks_behind += 1
+            for tx in block.transactions:
+                kind = tx.metadata.get("kind")
+                if kind == "public":
+                    ship(
+                        self.network,
+                        provider,
+                        name,
+                        "catchup-block",
+                        {"tx_id": tx.tx_id, "height": block.height},
+                        exposure=Exposure.of(
+                            identities={tx.submitter},
+                            data_keys={w.key for w in tx.writes},
+                        ),
+                        dedup_key=catchup_dedup_key(
+                            "quorum", "public", name, block.height
+                        ),
+                    )
+                    for write in tx.writes:
+                        if write.is_delete:
+                            if state.exists(write.key):
+                                state.delete(write.key)
+                        else:
+                            state.put(write.key, write.value)
+                    items += 1
+                elif kind == "private":
+                    ship(
+                        self.network,
+                        provider,
+                        name,
+                        "catchup-block",
+                        {"tx_id": tx.tx_id, "height": block.height},
+                        # The public chain's documented leak: the
+                        # participant list travels in the clear.
+                        exposure=Exposure.of(
+                            identities=set(tx.metadata.get("participants", ()))
+                        ),
+                        dedup_key=catchup_dedup_key(
+                            "quorum", "public", name, block.height
+                        ),
+                    )
+                    if name not in tx.metadata.get("participants", ()):
+                        continue
+                    payload_hash = tx.private_hashes["payload"]
+                    if self._ensure_payload(
+                        name, payload_hash,
+                        tuple(tx.metadata.get("participants", ())),
+                    ):
+                        __, did_apply = self._apply_private(
+                            name, block.height, payload_hash
+                        )
+                        if did_apply:
+                            items += 1
+            self._applied_upto[name] = max(
+                self._applied_upto.get(name, 0), block.height
+            )
+        self.telemetry.metrics.counter("recovery.catchup.items").inc(items)
+        return {"items": items, "blocks_behind": blocks_behind}
 
     # -- the documented double-spend flaw
 

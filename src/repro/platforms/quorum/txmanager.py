@@ -55,14 +55,20 @@ class PrivateTransactionManager:
         payload: dict,
         participants: list[str],
         managers: dict[str, "PrivateTransactionManager"],
+        skip: tuple[str, ...] = (),
     ) -> str:
         """Encrypt *payload* for each participant and push it to them.
 
         Returns the payload hash that goes into the public transaction.
+        Participants in *skip* (currently unreachable) are recorded in
+        the payload's participant list but receive nothing now; the
+        redelivery path (:meth:`redeliver`) serves them later.
         """
         payload_hash = hash_hex("repro/quorum/payload", payload)
         raw = canonical_bytes(payload)
         for participant in participants:
+            if participant in skip:
+                continue
             manager = managers.get(participant)
             if manager is None:
                 raise PrivacyError(f"no transaction manager for {participant!r}")
@@ -77,6 +83,46 @@ class PrivateTransactionManager:
                 )
             )
         return payload_hash
+
+    def redeliver(
+        self, payload_hash: str, recipient: "PrivateTransactionManager"
+    ) -> bool:
+        """Re-encrypt a held payload for an entitled, newly reachable peer.
+
+        The entitlement gate is the payload's own participant list — a
+        manager will never re-serve a payload to a node that was not a
+        party to the original transaction, which is what keeps catch-up
+        privacy-preserving.  Idempotent: returns False if the recipient
+        already holds the payload.
+        """
+        stored = self._payloads.get(payload_hash)
+        if stored is None:
+            raise OffChainError(
+                f"{self.owner!r} holds no payload {payload_hash!r}"
+            )
+        if recipient.owner not in stored.participants:
+            raise PrivacyError(
+                f"{recipient.owner!r} was not a party to payload "
+                f"{payload_hash!r}; refusing redelivery"
+            )
+        if recipient.has_payload(payload_hash):
+            return False
+        # Decrypt with the original pairwise key, re-encrypt under the
+        # redeliverer<->recipient pair so the recipient can resolve it
+        # (resolve derives the key from the stored sender, which for a
+        # redelivered copy is this manager's owner).
+        original = _pair_key(stored.sender, self.owner)
+        raw = original.decrypt(stored.ciphertext)
+        key = _pair_key(self.owner, recipient.owner)
+        recipient.receive(
+            StoredPayload(
+                payload_hash=payload_hash,
+                ciphertext=key.encrypt(raw, self._rng),
+                sender=self.owner,
+                participants=stored.participants,
+            )
+        )
+        return True
 
     def receive(self, stored: StoredPayload) -> None:
         self._payloads[stored.payload_hash] = stored

@@ -126,8 +126,17 @@ class LetterOfCreditWorkflow:
         """The platform's telemetry bundle (spans, metrics, events)."""
         return self.network.telemetry
 
-    def setup(self, extra_network_members: tuple[str, ...] = ()) -> None:
-        """Onboard parties, create the segregated ledger, deploy logic."""
+    def setup(
+        self,
+        extra_network_members: tuple[str, ...] = (),
+        endorsement_policy=None,
+    ) -> None:
+        """Onboard parties, create the segregated ledger, deploy logic.
+
+        ``endorsement_policy`` overrides the default all-of policy; the
+        recovery scenarios deploy with ``k_of(2, PARTIES)`` so the
+        lifecycle can keep moving while one member is crashed.
+        """
         for org in self.PARTIES + tuple(extra_network_members):
             self.network.onboard(org)
         channel = self.network.create_channel(self.channel_name, list(self.PARTIES))
@@ -163,13 +172,33 @@ class LetterOfCreditWorkflow:
             functions={"apply": apply_loc, "advance": advance},
         )
         self.network.deploy_chaincode(
-            self.channel_name, contract, list(self.PARTIES)
+            self.channel_name, contract, list(self.PARTIES),
+            policy=endorsement_policy,
         )
         self._initialized = True
 
     def _require_setup(self) -> None:
         if not self._initialized:
             raise RuntimeError("call setup() first")
+
+    # -- crash recovery passthroughs
+
+    def live_endorsers(self) -> list[str]:
+        """Channel members whose peers are currently up."""
+        channel = self.network.channel(self.channel_name)
+        return [
+            m for m in sorted(channel.members)
+            if not self.network.network.is_crashed(m)
+        ]
+
+    def checkpoint(self, org: str):
+        return self.network.checkpoint_node(org)
+
+    def crash(self, org: str) -> None:
+        self.network.crash(org)
+
+    def recover(self, org: str):
+        return self.network.recover(org)
 
     def apply_for_credit(
         self, loc_id: str, amount: int, buyer_passport: str
@@ -188,6 +217,7 @@ class LetterOfCreditWorkflow:
                     "loc_id": loc_id, "buyer": "BuyerCo", "seller": "SellerCo",
                     "bank": "IssuingBank", "amount": amount,
                 },
+                endorsers=self.live_endorsers(),
                 collection_writes={
                     "kyc-pii": {f"passport/{loc_id}": {"number": buyer_passport}}
                 },
@@ -204,6 +234,9 @@ class LetterOfCreditWorkflow:
             result = self.network.invoke(
                 self.channel_name, actor, self.contract_id, "advance",
                 {"loc_id": loc_id},
+                # Endorse on live peers only: with a k-of-n policy the
+                # lifecycle survives a crashed member until it recovers.
+                endorsers=self.live_endorsers(),
             )
         return result.return_value["status"]
 

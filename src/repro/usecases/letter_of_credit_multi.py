@@ -106,6 +106,17 @@ class CordaLetterOfCredit:
         self._tips[loc_id] = result.output_refs[0]
         return TRANSITIONS[status]
 
+    # -- crash recovery passthroughs
+
+    def checkpoint(self, org: str):
+        return self.network.checkpoint_node(org)
+
+    def crash(self, org: str) -> None:
+        self.network.crash(org)
+
+    def recover(self, org: str):
+        return self.network.recover(org)
+
     def run_full_lifecycle(self, loc_id: str = "LC-C-001") -> str:
         self.apply_for_credit(loc_id, amount=250_000, buyer_passport="P-C-1")
         self.advance("IssuingBank", loc_id)
@@ -180,6 +191,20 @@ class QuorumLetterOfCredit:
             actor, "loc-evm", "advance", {"loc_id": loc_id},
             private_for=[p for p in PARTIES if p != actor],
         )
+
+    # -- crash recovery passthroughs
+
+    def checkpoint(self, org: str):
+        return self.network.checkpoint_node(org)
+
+    def crash(self, org: str) -> None:
+        self.network.crash(org)
+
+    def recover(self, org: str):
+        return self.network.recover(org)
+
+    def redeliver_pending(self) -> int:
+        return self.network.redeliver_pending()
 
     def run_full_lifecycle(self, loc_id: str = "LC-Q-001") -> str:
         self.apply_for_credit(loc_id, amount=250_000)

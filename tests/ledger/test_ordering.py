@@ -249,3 +249,46 @@ class TestOperators:
         orderer = make_private_orderer("alice", clock)
         orderer.submit(make_tx())
         assert "bob" in orderer.observer.seen_identities
+
+
+class TestNonDurableRecovery:
+    """A non-durable orderer loses its queues on crash (satellite)."""
+
+    @pytest.fixture
+    def volatile(self, clock):
+        return OrderingService("ord", clock, durable=False)
+
+    def test_crash_drops_pending(self, volatile):
+        volatile.submit(make_tx(key="a"))
+        assert volatile.pending_count("ch") == 1
+        volatile.crash()
+        assert volatile.pending_count("ch") == 0
+
+    def test_durable_crash_keeps_pending(self, orderer):
+        orderer.submit(make_tx(key="a"))
+        orderer.crash()
+        assert orderer.pending_count("ch") == 1
+        orderer.recover()
+        batch = orderer.cut_batch("ch", force=True)
+        assert len(batch.transactions) == 1
+
+    def test_resubmission_works_after_recovery(self, volatile):
+        volatile.submit(make_tx(key="a"))
+        volatile.crash()
+        with pytest.raises(OrderingError, match="down"):
+            volatile.submit(make_tx(key="a"))
+        volatile.recover()
+        # The client's retry path: dropped work must be resubmitted.
+        volatile.submit(make_tx(key="a"))
+        batch = volatile.cut_batch("ch", force=True)
+        assert [t.writes[0].key for t in batch.transactions] == ["a"]
+
+    def test_batch_timeout_fires_after_recovery(self, volatile, clock):
+        volatile.crash()
+        volatile.recover()
+        volatile.submit(make_tx(key="a"))
+        assert not volatile.ready_to_cut("ch")
+        clock.advance(volatile.profile.batch_timeout + 0.01)
+        assert volatile.ready_to_cut("ch")
+        batch = volatile.cut_batch("ch")
+        assert len(batch.transactions) == 1

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import OrderingError
-from repro.ledger.raft import RaftCluster, Role
+from repro.ledger.raft import LogEntry, RaftCluster, Role
 from repro.ledger.transaction import Transaction, WriteEntry
 
 
@@ -223,3 +223,49 @@ class TestVisibility:
         cluster.crash("org3")
         cluster.submit(make_tx(1))
         assert "k1" not in cluster.node("raft-org3").observer.seen_data_keys
+
+
+class TestLogTruncationOnRecovery:
+    def test_former_leader_rejoins_as_follower_without_phantom_entries(
+        self, cluster
+    ):
+        """A recovered leader must not resurrect an unacked log suffix."""
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        # The leader accepted a write locally but crashed before
+        # replicating it: an uncommitted suffix nobody was ever acked for.
+        leader = cluster.node("raft-org1")
+        leader.log.append(LogEntry(term=leader.current_term, tx=make_tx(99)))
+        cluster.crash("org1")
+        cluster.elect("raft-org2")
+        cluster.submit(make_tx(2))
+        cluster.recover("org1")
+        recovered = cluster.node("raft-org1")
+        assert recovered.role is Role.FOLLOWER
+        assert len(recovered.log) == recovered.commit_index
+        assert all(e.tx.tx_id != make_tx(99).tx_id for e in recovered.log)
+        cluster.submit(make_tx(3))  # replication overwrites with new history
+        assert cluster.logs_consistent()
+        committed = [e.tx.tx_id for e in recovered.log[: recovered.commit_index]]
+        assert make_tx(99).tx_id not in committed
+
+    def test_truncation_is_counted_and_logged(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        leader = cluster.node("raft-org1")
+        leader.log.append(LogEntry(term=leader.current_term, tx=make_tx(98)))
+        leader.log.append(LogEntry(term=leader.current_term, tx=make_tx(99)))
+        cluster.crash("org1")
+        cluster.recover("org1")
+        counters = cluster.telemetry.metrics.snapshot()["counters"]
+        assert counters["raft.log_truncations"] == 2
+        assert cluster.telemetry.events.named("raft.log_truncated")
+
+    def test_recovery_with_no_suffix_truncates_nothing(self, cluster):
+        cluster.elect("raft-org1")
+        cluster.submit(make_tx(1))
+        cluster.crash("org3")
+        cluster.recover("org3")
+        counters = cluster.telemetry.metrics.snapshot()["counters"]
+        assert "raft.log_truncations" not in counters
+        assert cluster.logs_consistent()

@@ -1,0 +1,134 @@
+"""Resilient private-payload redelivery: retry-until-available (satellite).
+
+Default mode keeps the fail-fast refusal (no state moves before every
+recipient is reachable); resilient mode lets the transaction proceed for
+the reachable participants and queues the payload for redelivery, with
+entitlement re-checked by the holding manager at redelivery time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DeliveryError, PrivacyError
+from repro.execution.contracts import SmartContract
+from repro.platforms.quorum import QuorumNetwork
+
+ORGS = ("N1", "N2", "N3")
+
+
+def store_cc(cid="store"):
+    def put(view, args):
+        view.put(args["key"], args["value"])
+        return args["value"]
+
+    return SmartContract(
+        contract_id=cid, version=1, language="evm-solidity",
+        functions={"put": put},
+    )
+
+
+def make_net(**kwargs) -> QuorumNetwork:
+    net = QuorumNetwork(seed="redelivery-test", **kwargs)
+    for org in ORGS:
+        net.onboard(org)
+    net.deploy_contract("N1", store_cc())
+    return net
+
+
+class TestDefaultFailFast:
+    def test_partitioned_recipient_fails_before_state_mutation(self):
+        net = make_net()
+        net.network.partition("N1", "N2")
+        with pytest.raises(DeliveryError, match="partition"):
+            net.send_private_transaction(
+                "N1", "store", "put", {"key": "k", "value": 1},
+                private_for=["N2", "N3"],
+            )
+        for org in ORGS:
+            assert not net.private_states[org].exists("k")
+
+    def test_crashed_recipient_fails_fast(self):
+        net = make_net()
+        net.crash("N2")
+        with pytest.raises(DeliveryError, match="down"):
+            net.send_private_transaction(
+                "N1", "store", "put", {"key": "k", "value": 1},
+                private_for=["N2"],
+            )
+
+
+class TestResilientRedelivery:
+    def test_transaction_proceeds_with_recipient_down(self):
+        net = make_net(resilient_delivery=True)
+        net.crash("N2")
+        result = net.send_private_transaction(
+            "N1", "store", "put", {"key": "k", "value": 1},
+            private_for=["N2", "N3"],
+        )
+        # Reachable participants applied; the down one is owed a payload.
+        assert net.private_states["N1"].get("k") == 1
+        assert net.private_states["N3"].get("k") == 1
+        assert not net.private_states["N2"].exists("k")
+        assert not net.managers["N2"].has_payload(result.payload_hash)
+
+    def test_redelivery_applies_after_node_returns(self):
+        net = make_net(resilient_delivery=True)
+        net.network.partition("N1", "N2")
+        result = net.send_private_transaction(
+            "N1", "store", "put", {"key": "k", "value": 1},
+            private_for=["N2"],
+        )
+        assert net.redeliver_pending() == 0  # still partitioned: stays queued
+        net.network.heal("N1", "N2")
+        assert net.redeliver_pending() == 1
+        assert net.private_states["N2"].get("k") == 1
+        assert net.managers["N2"].has_payload(result.payload_hash)
+        assert net.verify_private_state("N2")
+
+    def test_redelivery_is_idempotent(self):
+        net = make_net(resilient_delivery=True)
+        net.network.partition("N1", "N2")
+        net.send_private_transaction(
+            "N1", "store", "put", {"key": "k", "value": 1}, private_for=["N2"]
+        )
+        net.network.heal("N1", "N2")
+        assert net.redeliver_pending() == 1
+        assert net.redeliver_pending() == 0  # a second drain finds nothing
+        assert net.private_states["N2"].get("k") == 1
+
+    def test_recovery_first_then_redelivery_does_not_double_apply(self):
+        """A node that caught up via recover() skips its queued payloads:
+        idempotence is keyed on the durable chain position."""
+        net = make_net(resilient_delivery=True)
+        net.crash("N2")
+        net.send_private_transaction(
+            "N1", "store", "put", {"key": "k", "value": 1}, private_for=["N2"]
+        )
+        net.recover("N2")  # catch-up already applies the private tx
+        assert net.private_states["N2"].get("k") == 1
+        assert net.redeliver_pending() == 0
+        assert net.verify_private_state("N2")
+
+    def test_redelivery_counters_recorded(self):
+        net = make_net(resilient_delivery=True)
+        net.network.partition("N1", "N2")
+        net.send_private_transaction(
+            "N1", "store", "put", {"key": "k", "value": 1}, private_for=["N2"]
+        )
+        net.network.heal("N1", "N2")
+        net.redeliver_pending()
+        counters = net.telemetry.metrics.snapshot()["counters"]
+        assert counters["recovery.redelivery.queued"] == 1
+        assert counters["recovery.redelivery.applied"] == 1
+
+
+class TestEntitlement:
+    def test_manager_refuses_unentitled_redelivery(self):
+        net = make_net(resilient_delivery=True)
+        result = net.send_private_transaction(
+            "N1", "store", "put", {"key": "k", "value": 1}, private_for=["N2"]
+        )
+        with pytest.raises(PrivacyError):
+            net.managers["N1"].redeliver(result.payload_hash, net.managers["N3"])
+        assert not net.managers["N3"].has_payload(result.payload_hash)

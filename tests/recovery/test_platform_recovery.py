@@ -1,0 +1,239 @@
+"""Per-platform crash/recover: checkpoints restore, catch-up is filtered."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.contracts import SmartContract
+from repro.ledger.validation import EndorsementPolicy
+from repro.platforms.corda import Command, ContractState, CordaNetwork
+from repro.platforms.fabric import FabricNetwork
+from repro.platforms.quorum import QuorumNetwork
+
+ORGS = ("OrgA", "OrgB", "OrgC")
+
+
+def put_contract(cid="store", language="python-chaincode"):
+    def put(view, args):
+        view.put(args["key"], args["value"])
+        return args["value"]
+
+    return SmartContract(
+        contract_id=cid, version=1, language=language, functions={"put": put}
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fabric
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fabric():
+    net = FabricNetwork(seed="recovery-fabric", resilient_delivery=True)
+    for org in ORGS:
+        net.onboard(org)
+    channel = net.create_channel("ch", list(ORGS))
+    # 2-of-3 so business can continue while one member is crashed.
+    net.deploy_chaincode(
+        "ch", put_contract(), list(ORGS),
+        policy=EndorsementPolicy.k_of(2, list(ORGS)),
+    )
+    return net, channel
+
+
+class TestFabricRecovery:
+    def test_recovered_replica_matches_peers(self, fabric):
+        net, channel = fabric
+        net.invoke("ch", "OrgA", "store", "put", {"key": "k1", "value": 1})
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        net.invoke(
+            "ch", "OrgA", "store", "put", {"key": "k2", "value": 2},
+            endorsers=["OrgA", "OrgC"],
+        )
+        assert channel.states["OrgB"].snapshot() == {}  # volatile state gone
+        net.recover("OrgB")
+        net.network.run()
+        assert channel.states["OrgB"].dump() == channel.states["OrgA"].dump()
+
+    def test_checkpoint_restores_without_reshipping_old_blocks(self, fabric):
+        net, channel = fabric
+        net.invoke("ch", "OrgA", "store", "put", {"key": "k1", "value": 1})
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        net.invoke(
+            "ch", "OrgA", "store", "put", {"key": "k2", "value": 2},
+            endorsers=["OrgA", "OrgC"],
+        )
+        before = net.telemetry.metrics.snapshot()["counters"].get(
+            "recovery.catchup.items", 0
+        )
+        net.recover("OrgB")
+        after = net.telemetry.metrics.snapshot()["counters"][
+            "recovery.catchup.items"
+        ]
+        # Only the post-checkpoint delta travels: one block, one item.
+        assert after - before == 1
+
+    def test_recovery_without_checkpoint_rebuilds_from_genesis(self, fabric):
+        net, channel = fabric
+        net.invoke("ch", "OrgA", "store", "put", {"key": "k1", "value": 1})
+        net.crash("OrgB")
+        checkpoint = net.recover("OrgB")
+        net.network.run()
+        assert checkpoint is None
+        assert channel.states["OrgB"].get("k1") == 1
+
+    def test_recover_is_idempotent(self, fabric):
+        net, _ = fabric
+        net.invoke("ch", "OrgA", "store", "put", {"key": "k1", "value": 1})
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        net.crash("OrgB")  # double-crash is a no-op too
+        first = net.recover("OrgB")
+        second = net.recover("OrgB")
+        assert first is not None and second is not None
+        assert first.sequence == second.sequence
+        counters = net.telemetry.metrics.snapshot()["counters"]
+        assert counters["recovery.crashes"] == 1
+        assert counters["recovery.recoveries"] == 1
+
+    def test_catchup_stays_inside_channel_membership(self, fabric):
+        net, _ = fabric
+        side = net.create_channel("side", ["OrgA", "OrgC"])
+        net.deploy_chaincode("side", put_contract("side-cc"), ["OrgA", "OrgC"])
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        net.invoke("side", "OrgA", "side-cc", "put", {"key": "s", "value": 5})
+        net.recover("OrgB")
+        net.network.run()
+        assert side.states.get("OrgB") is None
+        assert "s" not in net.network.node("OrgB").observer.seen_data_keys
+
+
+# ---------------------------------------------------------------------------
+# Corda
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def corda():
+    net = CordaNetwork(seed="recovery-corda", resilient_delivery=True)
+    for org in ORGS:
+        net.onboard(org)
+    net.register_contract("deal", lambda wire: None, language="kotlin")
+    return net
+
+
+def corda_deal(net, parties, data):
+    state = ContractState(contract_id="deal", participants=parties, data=data)
+    wire = net.build_transaction(
+        inputs=[], outputs=[state],
+        commands=[Command(name="Deal", signers=parties)],
+    )
+    return net.run_flow(parties[0], wire), wire
+
+
+class TestCordaRecovery:
+    def test_entitled_transactions_reship_on_recovery(self, corda):
+        """A crash wipes the vault; catch-up re-ships entitled history."""
+        net = corda
+        __, wire = corda_deal(net, ("OrgA", "OrgB"), {"amount": 10})
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        assert not net.vault("OrgB").knows_transaction(wire.tx_id)
+        net.recover("OrgB")
+        assert net.vault("OrgB").knows_transaction(wire.tx_id)
+
+    def test_unentitled_transactions_never_reship(self, corda):
+        net = corda
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        __, side = corda_deal(net, ("OrgA", "OrgC"), {"price": 99})
+        net.recover("OrgB")
+        assert not net.vault("OrgB").knows_transaction(side.tx_id)
+        assert "price" not in net.network.node("OrgB").observer.seen_data_keys
+
+    def test_unconsumed_states_rebuilt_after_catchup(self, corda):
+        net = corda
+        result, __ = corda_deal(net, ("OrgA", "OrgB"), {"amount": 10})
+        ref = result.output_refs[0]
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        assert ref not in net.vault("OrgB").unconsumed
+        net.recover("OrgB")
+        assert ref in net.vault("OrgB").unconsumed
+
+    def test_recovery_survives_no_live_provider(self, corda):
+        net = corda
+        corda_deal(net, ("OrgA", "OrgB"), {"amount": 10})
+        net.crash("OrgB")
+        net.crash("OrgA")
+        net.crash("OrgC")
+        net.recover("OrgB")  # nobody to catch up from; no crash, no data
+        assert net.vault("OrgB").transactions == {}
+        net.recover("OrgA")
+        net.recover("OrgC")
+
+
+# ---------------------------------------------------------------------------
+# Quorum
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def quorum():
+    net = QuorumNetwork(seed="recovery-quorum", resilient_delivery=True)
+    for org in ORGS:
+        net.onboard(org)
+    net.deploy_contract("OrgA", put_contract("evm", language="evm-solidity"))
+    return net
+
+
+class TestQuorumRecovery:
+    def test_public_chain_replays_to_recovered_node(self, quorum):
+        net = quorum
+        net.send_public_transaction("OrgA", "evm", "put", {"key": "p", "value": 1})
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        net.send_public_transaction("OrgA", "evm", "put", {"key": "q", "value": 2})
+        net.recover("OrgB")
+        net.network.run()
+        assert net.public_states["OrgB"].get("q") == 2
+        assert net.public_states["OrgB"].dump() == net.public_states["OrgA"].dump()
+
+    def test_entitled_private_payload_restored(self, quorum):
+        net = quorum
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        result = net.send_private_transaction(
+            "OrgA", "evm", "put", {"key": "s1", "value": 7}, private_for=["OrgB"]
+        )
+        net.recover("OrgB")
+        assert net.private_states["OrgB"].get("s1") == 7
+        assert net.managers["OrgB"].has_payload(result.payload_hash)
+        assert net.verify_private_state("OrgB")
+
+    def test_unentitled_private_payload_withheld(self, quorum):
+        net = quorum
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        result = net.send_private_transaction(
+            "OrgA", "evm", "put", {"key": "s2", "value": 8}, private_for=["OrgC"]
+        )
+        net.recover("OrgB")
+        assert not net.private_states["OrgB"].exists("s2")
+        assert not net.managers["OrgB"].has_payload(result.payload_hash)
+
+    def test_catchup_is_position_idempotent(self, quorum):
+        net = quorum
+        net.send_private_transaction(
+            "OrgA", "evm", "put", {"key": "s3", "value": 1}, private_for=["OrgB"]
+        )
+        net.checkpoint_node("OrgB")
+        net.crash("OrgB")
+        net.recover("OrgB")
+        net.recover("OrgB")  # replaying catch-up must not double-apply
+        assert net.private_states["OrgB"].get("s3") == 1
+        assert net.verify_private_state("OrgB")

@@ -104,3 +104,39 @@ class TestThreatsCommand:
         out = capsys.readouterr().out
         assert "EXPOSED" in out and "covered" in out
         assert "ordering-operator" in out
+
+
+class TestRecoverCommand:
+    def test_recover_default_platform_passes(self, capsys):
+        assert main(["recover"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery scenario: fabric" in out
+        assert "CONVERGED" in out
+        assert "verdict: OK" in out
+
+    def test_recover_corda_json(self, capsys):
+        assert main(["recover", "--platform", "corda", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["platform"] == "corda"
+        assert payload["converged"] is True
+        assert payload["leak_ok"] is True
+        assert payload["divergences"] == []
+
+    def test_recover_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover", "--platform", "besu"])
+
+
+class TestConvergeCommand:
+    def test_converge_gate_passes_all_platforms(self, capsys):
+        assert main(["converge"]) == 0
+        out = capsys.readouterr().out
+        for platform in ("fabric", "corda", "quorum"):
+            assert f"recovery scenario: {platform}" in out
+        assert "convergence gate: PASS" in out
+
+    def test_converge_single_platform_json(self, capsys):
+        assert main(["converge", "--platform", "quorum", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["platform"] for r in payload] == ["quorum"]
+        assert all(r["ok"] for r in payload)
