@@ -272,8 +272,13 @@ def test_mvcc_conflict_rate_vs_contention(benchmark, skew):
 
     Read-modify-write transactions over a Zipfian keyspace conflict far
     more often than over a uniform one — quantifying when the segregated-
-    ledger design needs smaller batches or key-sharding.
+    ledger design needs smaller batches or key-sharding.  Runs through
+    the unified pipeline: one in-flight driver batch endorses every
+    request against the same snapshot, exactly like the raw
+    propose/submit_batch loop it replaced.
     """
+    from repro.driver import Driver, DriverConfig
+    from repro.platforms.base import TxRequest
     from repro.workloads import kv_update_stream
 
     def increment(view, args):
@@ -291,18 +296,18 @@ def test_mvcc_conflict_rate_vs_contention(benchmark, skew):
             "cc", 1, "python-chaincode", {"inc": increment}
         )
         net.deploy_chaincode("ch", contract, ["Org1", "Org2"])
-        operations = list(kv_update_stream(
-            ["Org1", "Org2"], 30, key_count=16, skew=skew,
-            seed=f"contention-{skew}",
-        ))
-        proposals = [
-            net.propose("ch", op.submitter, "cc", "inc",
-                        {"key": op.key, "value": 1})
-            for op in operations
+        requests = [
+            TxRequest(submitter=op.submitter, contract_id="cc",
+                      function="inc", args={"key": op.key, "value": 1})
+            for op in kv_update_stream(
+                ["Org1", "Org2"], 30, key_count=16, skew=skew,
+                seed=f"contention-{skew}",
+            )
         ]
-        results = net.submit_batch("ch", proposals)
-        invalid = sum(1 for r in results if not r.valid)
-        return invalid / len(results), net
+        report = Driver(net, DriverConfig(batch_size=len(requests))).run(
+            requests
+        )
+        return report.failed / report.operations, net
 
     conflict_rate, net = benchmark(run_workload)
     assert net.channel("ch").replicas_consistent()

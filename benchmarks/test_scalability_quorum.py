@@ -43,23 +43,26 @@ def fresh_network(seed: str, size: int = NETWORK_SIZE) -> QuorumNetwork:
 
 @pytest.mark.parametrize("kind", ["public", "private"])
 def test_transaction_cost(benchmark, kind):
-    """Wall-clock cost per transaction, public vs private path."""
+    """Wall-clock cost per transaction, public vs private path.
+
+    Submits through the unified pipeline: ``TxRequest.private_for``
+    selects Quorum's private path, ``None`` the public one.
+    """
+    from repro.platforms.base import TxRequest
+
     net = fresh_network(f"s3-cost-{kind}")
     counter = itertools.count()
 
-    def public_tx():
-        return net.send_public_transaction(
-            "N0", "store", "put", {"key": f"k{next(counter)}", "value": 1}
-        )
+    def submit_tx():
+        return net.submit(TxRequest(
+            submitter="N0", contract_id="store", function="put",
+            args={"key": f"k{next(counter)}", "value": 1},
+            private_for=("N1", "N2", "N3") if kind == "private" else None,
+        ))
 
-    def private_tx():
-        return net.send_private_transaction(
-            "N0", "store", "put", {"key": f"k{next(counter)}", "value": 1},
-            private_for=["N1", "N2", "N3"],
-        )
-
-    result = benchmark(public_tx if kind == "public" else private_tx)
-    assert result.tx.metadata["kind"] == kind
+    receipt = benchmark(submit_tx)
+    assert receipt.committed
+    assert receipt.info["kind"] == kind
 
 
 @pytest.mark.parametrize("parties", [2, 4, 8, 15])

@@ -26,5 +26,13 @@ python -m repro converge
 python -m repro lint --strict src/repro/recovery
 
 echo
+echo "== pipeline gate (submit/submit_many parity + driver + bench smoke) =="
+python -m pytest -x -q tests/pipeline tests/driver tests/integration/test_driver_leakage.py
+python -m repro bench --platform fabric --workload loc --ops 10 --batch 25 > /dev/null
+python -m repro bench --platform corda --workload trades --ops 8 --json > /dev/null
+python -m repro bench --platform quorum --workload kv --ops 10 --batch 5 > /dev/null
+python -m repro lint --strict src/repro/driver
+
+echo
 echo "== strict self-lint (src/repro + examples) =="
 python -m repro lint --self --strict

@@ -17,6 +17,9 @@ Subcommands expose the paper's artifacts without writing any code:
   two saved snapshots.
 - ``repro recover``  — run the canonical crash/recover/catch-up scenario
   on one platform and report convergence and catch-up privacy.
+- ``repro bench``    — drive a synthetic workload (KV, trades, or
+  letter-of-credit mix) through one platform's unified transaction
+  pipeline and report throughput, latency, and crypto-cache hit rates.
 - ``repro converge`` — the same scenario across all three platforms; the
   CI convergence gate (exit 1 on any divergence or leak).
 
@@ -278,6 +281,28 @@ def _cmd_converge(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in results) else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.driver import Driver, DriverConfig, build_scenario
+
+    scenario = build_scenario(
+        args.platform, args.workload, args.ops, skew=args.skew,
+        seed=args.seed,
+    )
+    config = DriverConfig(
+        batch_size=args.batch, force_cut=not args.no_force_cut
+    )
+    report = Driver(scenario.platform, config).run(scenario.requests)
+    if args.json:
+        payload = report.to_dict()
+        payload["workload"] = args.workload
+        payload["scenario"] = scenario.params
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"workload {scenario.label} {scenario.params}")
+        print(report.render_text())
+    return 0 if report.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -426,6 +451,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     converge.set_defaults(func=_cmd_converge)
+
+    bench = sub.add_parser(
+        "bench",
+        help="drive a synthetic workload through one platform's pipeline",
+        description="Compiles a repro.workloads stream into TxRequests "
+        "for the chosen platform and pumps them through the unified "
+        "submission pipeline in batches, reporting simulated-time "
+        "throughput, latency, and signature/certificate cache hit rates. "
+        "Deterministic in --seed.  Exit 1 if any transaction fails.",
+    )
+    bench.add_argument(
+        "--platform", choices=("fabric", "corda", "quorum"), default="fabric"
+    )
+    bench.add_argument(
+        "--workload", choices=("kv", "trades", "loc"), default="kv",
+        help="kv: key-value updates; trades: bilateral confidential "
+        "trades; loc: letter-of-credit stage mix (ops = applications)",
+    )
+    bench.add_argument(
+        "--ops", type=int, default=100,
+        help="operations (kv), trades, or LoC applications to generate",
+    )
+    bench.add_argument(
+        "--skew", type=float, default=0.0,
+        help="Zipfian key-popularity skew for the kv workload (0 = uniform)",
+    )
+    bench.add_argument(
+        "--batch", type=int, default=25, help="requests kept in flight together"
+    )
+    bench.add_argument(
+        "--no-force-cut", action="store_true",
+        help="leave batch release to the orderer's size/timeout policy",
+    )
+    bench.add_argument("--seed", default="bench")
+    bench.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -16,6 +16,7 @@ from repro.common.errors import CertificateError
 from repro.common.rng import DeterministicRNG
 from repro.common.serialization import canonical_bytes
 from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import tagged_hash
 from repro.crypto.signatures import (
     PrivateKey,
     PublicKey,
@@ -85,6 +86,13 @@ class CertificateAuthority:
         self._serial = 0
         self._revoked: set[int] = set()
         self._issued: dict[int, Certificate] = {}
+        # Chain-validation cache: the issuer-signature check is the costly,
+        # immutable part of verify(); validity windows and revocation are
+        # time/state dependent and stay live.  Keyed on the serial, a digest
+        # of the signed bytes, and the signature so tampering cannot alias.
+        self._chain_cache: dict[tuple[int, bytes, int, int], bool] = {}
+        self._chain_hits = 0
+        self._chain_misses = 0
 
     @property
     def public_key(self) -> PublicKey:
@@ -163,8 +171,42 @@ class CertificateAuthority:
             raise CertificateError("certificate outside validity window")
         if cert.serial in self._revoked:
             raise CertificateError(f"certificate serial {cert.serial} revoked")
-        if not self.scheme.verify(self.public_key, cert.to_be_signed(), cert.signature):
+        if not self._signature_chain_ok(cert):
             raise CertificateError("issuer signature invalid")
+
+    def _signature_chain_ok(self, cert: Certificate) -> bool:
+        """Memoized issuer-signature check over the certificate's bytes."""
+        if cert.signature is None:
+            return False
+        signed = cert.to_be_signed()
+        cache_key = (
+            cert.serial,
+            tagged_hash("repro/pki/chain-cache", signed),
+            cert.signature.challenge,
+            cert.signature.response,
+        )
+        cached = self._chain_cache.get(cache_key)
+        if cached is not None:
+            self._chain_hits += 1
+            return cached
+        self._chain_misses += 1
+        result = self.scheme.verify(self.public_key, signed, cert.signature)
+        self._chain_cache[cache_key] = result
+        return result
+
+    def cache_info(self) -> dict[str, int]:
+        """Chain-validation cache statistics: hits, misses, current size."""
+        return {
+            "hits": self._chain_hits,
+            "misses": self._chain_misses,
+            "size": len(self._chain_cache),
+        }
+
+    def reset_cache(self) -> None:
+        """Drop memoized chain validations and zero the counters."""
+        self._chain_cache.clear()
+        self._chain_hits = 0
+        self._chain_misses = 0
 
     def is_valid(self, cert: Certificate, at: float | None = None) -> bool:
         """Boolean form of :meth:`verify`."""

@@ -3,6 +3,14 @@
 The library's signature scheme for all platforms and identities.  Nonces are
 derived deterministically (RFC 6979 style) from the secret key and message,
 so signing is reproducible and never reuses a nonce.
+
+Verification is memoized per scheme instance, keyed on the public key, a
+digest of the message, and the signature itself.  Platform hot paths
+re-verify the same endorsements on every committing peer; the cache turns
+those repeats into dictionary hits while staying sound (a different
+signature or message can never alias an earlier entry).  Hit/miss counters
+are exposed through :meth:`SignatureScheme.cache_info` so benchmarks can
+attribute the speedup.
 """
 
 from __future__ import annotations
@@ -13,6 +21,11 @@ from repro.common.rng import DeterministicRNG
 from repro.crypto.groups import SchnorrGroup, cached_test_group
 from repro.crypto.hashing import tagged_hash
 from repro.common.errors import SignatureError
+
+#: Entries kept in a scheme's verification cache before the oldest half is
+#: evicted.  Large enough to hold every live endorsement in a benchmark
+#: run; bounded so long-lived processes cannot grow without limit.
+VERIFY_CACHE_MAX = 16384
 
 
 @dataclass(frozen=True)
@@ -48,6 +61,9 @@ class SignatureScheme:
 
     def __init__(self, group: SchnorrGroup | None = None) -> None:
         self.group = group or cached_test_group()
+        self._verify_cache: dict[tuple[int, bytes, int, int], bool] = {}
+        self._verify_hits = 0
+        self._verify_misses = 0
 
     def keygen(self, rng: DeterministicRNG) -> PrivateKey:
         """Generate a key pair from the supplied randomness source."""
@@ -82,7 +98,27 @@ class SignatureScheme:
         return Signature(challenge=e, response=s)
 
     def verify(self, public: PublicKey, message: bytes, sig: Signature) -> bool:
-        """Return True iff *sig* is a valid signature on *message*."""
+        """Return True iff *sig* is a valid signature on *message*.
+
+        Results are memoized on (key, message digest, signature); the full
+        signature is part of the key so a forged signature can never hit a
+        cached True for the genuine one.
+        """
+        digest = tagged_hash("repro/schnorr/verify-cache", message)
+        cache_key = (public.y, digest, sig.challenge, sig.response)
+        cached = self._verify_cache.get(cache_key)
+        if cached is not None:
+            self._verify_hits += 1
+            return cached
+        self._verify_misses += 1
+        result = self._verify_uncached(public, message, sig)
+        if len(self._verify_cache) >= VERIFY_CACHE_MAX:
+            for stale in list(self._verify_cache)[: VERIFY_CACHE_MAX // 2]:
+                del self._verify_cache[stale]
+        self._verify_cache[cache_key] = result
+        return result
+
+    def _verify_uncached(self, public: PublicKey, message: bytes, sig: Signature) -> bool:
         if not (0 <= sig.challenge < self.group.q and 0 <= sig.response < self.group.q):
             return False
         if not self.group.contains(public.y):
@@ -92,6 +128,20 @@ class SignatureScheme:
         y_inv_e = self.group.inv(self.group.exp(public.y, sig.challenge))
         commitment = self.group.mul(gs, y_inv_e)
         return self._challenge(commitment, public, message) == sig.challenge
+
+    def cache_info(self) -> dict[str, int]:
+        """Verification-cache statistics: hits, misses, current size."""
+        return {
+            "hits": self._verify_hits,
+            "misses": self._verify_misses,
+            "size": len(self._verify_cache),
+        }
+
+    def reset_cache(self) -> None:
+        """Drop memoized verifications and zero the hit/miss counters."""
+        self._verify_cache.clear()
+        self._verify_hits = 0
+        self._verify_misses = 0
 
     def require_valid(self, public: PublicKey, message: bytes, sig: Signature) -> None:
         """Raise :class:`SignatureError` unless *sig* verifies."""

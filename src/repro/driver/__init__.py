@@ -1,0 +1,34 @@
+"""Cross-platform workload driver.
+
+The paper's scalability guidance (§3.4) asks for custom tests "designed to
+fit the particular use case" — which presumes one harness can pump the
+same workload through each platform's privacy architecture.  This package
+is that harness: :class:`~repro.driver.core.Driver` consumes
+platform-neutral :class:`~repro.platforms.base.TxRequest` lists (built
+from ``repro.workloads`` streams by :mod:`repro.driver.scenarios`) and
+drives any :class:`~repro.platforms.base.Platform` through the unified
+pipeline, with configurable in-flight batching and backpressure against
+the ordering service's ``batch_timeout``.
+"""
+
+from repro.driver.core import Driver, DriverConfig, DriverReport
+from repro.driver.scenarios import (
+    BENCH_ORGS,
+    BenchScenario,
+    build_scenario,
+    kv_scenario,
+    loc_scenario,
+    trade_scenario,
+)
+
+__all__ = [
+    "BENCH_ORGS",
+    "BenchScenario",
+    "Driver",
+    "DriverConfig",
+    "DriverReport",
+    "build_scenario",
+    "kv_scenario",
+    "loc_scenario",
+    "trade_scenario",
+]

@@ -9,6 +9,15 @@ mechanism through its native API (``NATIVE``), demonstrates it by
 composing library crypto on top of its primitives (``IMPLEMENTABLE``), or
 demonstrates the architectural constraint that blocks it (``REWRITE``).
 The Table 1 reproduction consumes these results.
+
+The **unified transaction pipeline** lives here too: a
+:class:`TxRequest` describes one submission in platform-neutral terms, and
+:meth:`Platform.submit` / :meth:`Platform.submit_many` route it through the
+platform's *native* lifecycle (endorse→order→validate→commit on Fabric,
+flow+notarise on Corda, distribute→execute→order on Quorum), returning a
+:class:`TxReceipt`.  Privacy semantics stay platform-specific — an adapter
+refuses request shapes its architecture cannot honor (e.g. Quorum rejects
+deletable private payloads) rather than silently approximating them.
 """
 
 from __future__ import annotations
@@ -17,8 +26,10 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.common.clock import SimClock
-from repro.common.errors import PlatformError
+from repro.common.errors import PlatformError, ReproError
 from repro.common.rng import DeterministicRNG
+from repro.common.serialization import canonical_bytes
+from repro.crypto.hashing import tagged_hash
 from repro.crypto.pki import Certificate, CertificateAuthority, MembershipService
 from repro.crypto.signatures import PrivateKey, SignatureScheme
 from repro.core.mechanisms import Mechanism
@@ -57,6 +68,79 @@ class Party:
     @property
     def public_key(self):
         return self.key.public
+
+
+@dataclass(frozen=True)
+class TxRequest:
+    """One platform-neutral transaction submission.
+
+    - ``scope`` names the ledger partition where one exists (a Fabric
+      channel); platforms without partitions ignore it.
+    - ``private_for`` restricts data visibility to the named parties plus
+      the submitter (Quorum privacy groups, Corda participants).  Fabric
+      rejects it: its confidentiality tools are channels and PDCs.
+    - ``private_args`` carries data that must stay off the shared ledger
+      (Fabric PDC writes, keyed by collection name).  Quorum rejects it:
+      private payloads must remain replayable, so deletable off-ledger
+      data is architecturally unsupported (Table 1).
+    - ``options`` holds platform-specific tuning (Fabric ``endorsers`` /
+      ``anonymous``) that does not change what the transaction *does*.
+    - ``metadata`` is caller bookkeeping, echoed untouched on the receipt.
+    """
+
+    submitter: str
+    contract_id: str
+    function: str
+    args: dict = field(default_factory=dict)
+    scope: str | None = None
+    private_for: tuple[str, ...] | None = None
+    private_args: dict | None = None
+    options: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class TxReceipt:
+    """The unified outcome of one submitted :class:`TxRequest`.
+
+    ``committed`` is True iff the transaction mutated committed state;
+    ``status`` is ``"committed"``, a platform validation code (e.g.
+    ``"MVCC_READ_CONFLICT"``), or ``"rejected:<ErrorType>"`` for requests
+    the platform refused.  ``result`` carries the native flow's return
+    value so pipeline callers lose nothing over the native entrypoints.
+    """
+
+    request: TxRequest
+    platform: str
+    tx_id: str | None
+    committed: bool
+    status: str
+    submitted_at: float
+    committed_at: float | None = None
+    result: object = None
+    info: dict = field(default_factory=dict)
+
+    @property
+    def latency(self) -> float | None:
+        """Simulated submit-to-commit latency; None if never committed."""
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+
+def rejection_receipt(
+    request: TxRequest, platform: str, submitted_at: float, error: ReproError
+) -> TxReceipt:
+    """A failed receipt for a request the platform's native flow refused."""
+    return TxReceipt(
+        request=request,
+        platform=platform,
+        tx_id=None,
+        committed=False,
+        status=f"rejected:{type(error).__name__}",
+        submitted_at=submitted_at,
+        info={"error": str(error)},
+    )
 
 
 class Platform:
@@ -107,6 +191,109 @@ class Platform:
         if name not in self.parties:
             raise PlatformError(f"unknown party {name!r}")
         return self.parties[name]
+
+    def authenticate(self, name: str) -> Party:
+        """Resolve *name* and re-validate its certificate chain.
+
+        Every native submission path calls this first, modeling the
+        per-request identity check real deployments perform.  The CA's
+        chain-validation cache makes repeats cheap; expiry and revocation
+        stay live, so a revoked party is refused on its next submission.
+        """
+        party = self.party(name)
+        self.ca.verify(party.certificate)
+        return party
+
+    # -- the unified transaction pipeline
+
+    def submit(self, request: TxRequest) -> TxReceipt:
+        """Route one request through the platform's native lifecycle.
+
+        Error semantics match the native entrypoint: a refused or
+        invalidated transaction raises the same typed error the native
+        call would (use :meth:`submit_many` for capture-don't-raise
+        batch semantics).
+        """
+        receipt = self._submit_one_native(request)
+        self._record_receipt(receipt)
+        return receipt
+
+    def submit_many(
+        self, requests: list[TxRequest], force_cut: bool = True
+    ) -> list[TxReceipt]:
+        """Submit a batch through the native lifecycle, one receipt each.
+
+        Per-request failures become failed receipts instead of raising, so
+        a workload driver keeps pumping.  ``force_cut=False`` leaves batch
+        release to the ordering service's own cutting policy (size or
+        ``batch_timeout``) on platforms with a batch-accumulating orderer
+        (Fabric); platforms that sequence per transaction ignore it.
+        """
+        receipts = self._submit_batch_native(list(requests), force_cut=force_cut)
+        for receipt in receipts:
+            self._record_receipt(receipt)
+        return receipts
+
+    def _submit_one_native(self, request: TxRequest) -> TxReceipt:
+        """Subclass hook: run *request* through the native single-tx flow."""
+        raise PlatformError(
+            f"{self.platform_name} does not implement the transaction pipeline"
+        )
+
+    def _submit_batch_native(
+        self, requests: list[TxRequest], force_cut: bool
+    ) -> list[TxReceipt]:
+        """Subclass hook: run a batch through the native flow.
+
+        Default: sequential single submissions with failures captured as
+        rejection receipts.  Platforms with real batch semantics override.
+        """
+        receipts = []
+        for request in requests:
+            submitted_at = self.clock.now
+            try:
+                receipts.append(self._submit_one_native(request))
+            except ReproError as error:
+                receipts.append(
+                    rejection_receipt(
+                        request, self.platform_name, submitted_at, error
+                    )
+                )
+        return receipts
+
+    def _record_receipt(self, receipt: TxReceipt) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("pipeline.submitted", platform=self.platform_name).inc()
+        if receipt.committed:
+            metrics.counter("pipeline.committed", platform=self.platform_name).inc()
+        else:
+            metrics.counter("pipeline.failed", platform=self.platform_name).inc()
+
+    def state_fingerprint(self) -> str:
+        """Canonical hash of all committed state, for parity checks.
+
+        Two runs that executed the same transactions — whether through
+        native entrypoints or the pipeline — must produce identical
+        fingerprints.  The snapshot is the subclass's full committed
+        picture: every replica/vault, chain heights, and committed ids.
+        """
+        snapshot = self._state_snapshot()
+        return tagged_hash(
+            "repro/pipeline/state-fingerprint", canonical_bytes(snapshot)
+        ).hex()
+
+    def _state_snapshot(self) -> dict:
+        """Subclass hook: JSON-serializable committed-state picture."""
+        raise PlatformError(
+            f"{self.platform_name} does not implement state fingerprints"
+        )
+
+    def crypto_cache_stats(self) -> dict:
+        """Hot-path crypto cache hit/miss counters for this platform."""
+        return {
+            "signature_verify": self.scheme.cache_info(),
+            "certificate_chain": self.ca.cache_info(),
+        }
 
     # -- fault injection
 

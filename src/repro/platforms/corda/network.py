@@ -33,7 +33,14 @@ from repro.crypto.onetime import OneTimeIdentity, OneTimeKeyFactory, resolve_own
 from repro.crypto.symmetric import SymmetricKey
 from repro.network.messages import Exposure
 from repro.offchain.stores import Hosting, OffChainStore
-from repro.platforms.base import Party, Platform, ProbeResult, SupportLevel
+from repro.platforms.base import (
+    Party,
+    Platform,
+    ProbeResult,
+    SupportLevel,
+    TxReceipt,
+    TxRequest,
+)
 from repro.platforms.corda.notary import NotarisationReceipt, Notary
 from repro.platforms.corda.oracle import Oracle
 from repro.platforms.corda.states import Command, ContractState, StateRef
@@ -49,6 +56,12 @@ from repro.recovery.catchup import catchup_dedup_key, ship
 NOTARY_NODE = "corda-notary"
 
 ContractVerifier = Callable[[WireTransaction], None]
+
+# A flow builder turns a platform-neutral TxRequest into the wire
+# transaction the initiating node would assemble: (network, request) ->
+# WireTransaction.  Builders close over application state (e.g. which
+# StateRef is the current tip of an asset) exactly like a CorDapp flow.
+FlowBuilder = Callable[["CordaNetwork", TxRequest], WireTransaction]
 
 
 @dataclass
@@ -87,6 +100,7 @@ class CordaNetwork(Platform):
         self.vaults: dict[str, Vault] = {}
         self.verifiers: dict[str, ContractVerifier] = {}
         self.verifier_language: dict[str, str] = {}
+        self.flows: dict[tuple[str, str], FlowBuilder] = {}
         self._onetime_factories: dict[str, OneTimeKeyFactory] = {}
         self._onetime_index: dict[int, OneTimeIdentity] = {}
 
@@ -138,6 +152,20 @@ class CordaNetwork(Platform):
             if verifier is None:
                 raise ContractError(f"no verifier registered for {contract_id!r}")
             verifier(wire)
+
+    def register_flow(
+        self, contract_id: str, function: str, builder: FlowBuilder
+    ) -> None:
+        """Register the flow the pipeline runs for ``contract_id.function``.
+
+        Corda has no server-side contract-function dispatch: the initiator
+        assembles the transaction locally and runs a flow.  The builder is
+        that assembly step; :meth:`_submit_one_native` then drives the
+        native :meth:`run_flow` with its output.
+        """
+        if contract_id not in self.verifiers:
+            raise ContractError(f"no verifier registered for {contract_id!r}")
+        self.flows[(contract_id, function)] = builder
 
     # -- confidential identities (one-time public keys, Section 2.1)
 
@@ -210,6 +238,7 @@ class CordaNetwork(Platform):
         legal_signers = {s for s in signers if s in self.parties}
         if initiator not in self.parties:
             raise MembershipError(f"initiator {initiator!r} is not onboarded")
+        self.authenticate(initiator)
         if not self.notary.available():
             # Fail before proposals go out or vaults change so the flow
             # can be re-run cleanly after the notary recovers.
@@ -307,6 +336,66 @@ class CordaNetwork(Platform):
             StateRef(tx_id=wire.tx_id, index=i) for i in range(len(wire.outputs))
         ]
         return FlowResult(stx=stx, receipt=receipt, output_refs=output_refs)
+
+    # ------------------------------------------------------------------
+    # Unified transaction pipeline (Platform hooks)
+    #
+    # Corda mapping: the registered :class:`FlowBuilder` for
+    # (contract_id, function) assembles the wire transaction — typically
+    # reading ``request.args`` and ``request.private_for`` (the state's
+    # participants) — and the native flow runs it end to end.  There is
+    # no batch-accumulating orderer: the notary answers per transaction,
+    # so ``force_cut`` has nothing to act on and batches run sequentially
+    # through the same flow.  ``private_args`` is refused: every
+    # participant of a Corda state sees the whole state.
+    # ------------------------------------------------------------------
+
+    def _submit_one_native(self, request: TxRequest) -> TxReceipt:
+        if request.private_args is not None:
+            raise PlatformError(
+                "corda shares each state with all of its participants; "
+                "TxRequest.private_args is not supported — model "
+                "confidential fields with off-ledger anchors or tear-offs"
+            )
+        builder = self.flows.get((request.contract_id, request.function))
+        if builder is None:
+            raise PlatformError(
+                f"no flow registered for {request.contract_id!r}."
+                f"{request.function!r}; call register_flow first"
+            )
+        submitted_at = self.clock.now
+        wire = builder(self, request)
+        result = self.run_flow(request.submitter, wire)
+        return TxReceipt(
+            request=request,
+            platform=self.platform_name,
+            tx_id=result.stx.wire.tx_id,
+            committed=True,
+            status="committed",
+            submitted_at=submitted_at,
+            committed_at=self.clock.now,
+            result=result,
+            info={
+                "output_refs": [
+                    [ref.tx_id, ref.index] for ref in result.output_refs
+                ],
+                "notary_validating": self.notary.validating,
+            },
+        )
+
+    def _state_snapshot(self) -> dict:
+        vaults = {}
+        for name in sorted(self.vaults):
+            vault = self.vaults[name]
+            # tx ids are content-derived, so listing them pins the full
+            # transaction content; unconsumed refs pin the spend frontier.
+            vaults[name] = {
+                "transactions": sorted(vault.transactions),
+                "unconsumed": sorted(
+                    [ref.tx_id, ref.index] for ref in vault.unconsumed
+                ),
+            }
+        return {"platform": self.platform_name, "vaults": vaults}
 
     # -- transaction resolution (backchain)
 

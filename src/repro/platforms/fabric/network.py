@@ -20,6 +20,7 @@ from repro.common.errors import (
     MembershipError,
     OrderingError,
     PlatformError,
+    ReproError,
     ValidationError,
 )
 from repro.core.mechanisms import Mechanism
@@ -47,7 +48,14 @@ from repro.ledger.transaction import (
 from repro.ledger.state import WorldState
 from repro.ledger.validation import EndorsementPolicy, verify_endorsements
 from repro.network.messages import Exposure
-from repro.platforms.base import Platform, ProbeResult, SupportLevel
+from repro.platforms.base import (
+    Platform,
+    ProbeResult,
+    SupportLevel,
+    TxReceipt,
+    TxRequest,
+    rejection_receipt,
+)
 from repro.platforms.fabric.channel import Channel
 from repro.platforms.fabric.pdc import PrivateDataCollection
 from repro.recovery.catchup import catchup_dedup_key, pick_provider, ship
@@ -106,6 +114,9 @@ class FabricNetwork(Platform):
             telemetry=self.telemetry,
         )
         self.channels: dict[str, Channel] = {}
+        # contract id -> channel it is committed on; lets the pipeline
+        # infer the channel when TxRequest.scope is omitted.
+        self.contract_channels: dict[str, str] = {}
         self.engine = LedgerEngine(telemetry=self.telemetry)
         self.idemix_issuer = CredentialIssuer(
             "fabric-idemix-msp", scheme=self.scheme, rng=self.rng.fork("idemix")
@@ -173,6 +184,7 @@ class FabricNetwork(Platform):
         for member in channel.members:
             channel.approve_definition(member, contract.contract_id, contract.version, policy)
         channel.commit_definition(contract.contract_id)
+        self.contract_channels[contract.contract_id] = channel_name
 
     # -- the execute-order-validate flow
 
@@ -249,6 +261,7 @@ class FabricNetwork(Platform):
         channel = self.channel(channel_name)
         if not anonymous:
             channel.require_member(submitter)
+            self.authenticate(submitter)
         definition = channel.committed_definition(contract_id)
         endorsers = endorsers or sorted(
             definition.policy.required & channel.members
@@ -378,7 +391,10 @@ class FabricNetwork(Platform):
         return result
 
     def submit_batch(
-        self, channel_name: str, proposals: list["ProposedTransaction"]
+        self,
+        channel_name: str,
+        proposals: list["ProposedTransaction"],
+        force_cut: bool = True,
     ) -> list[InvokeResult]:
         """Order several endorsed proposals into one block and commit.
 
@@ -387,6 +403,12 @@ class FabricNetwork(Platform):
         mutate state.  Proposals endorsed against the same snapshot that
         touch the same keys therefore conflict — the first commits, the
         rest are marked MVCC_READ_CONFLICT.
+
+        ``force_cut=True`` (the synchronous default) flushes the orderer
+        immediately; ``force_cut=False`` leaves the cut to the orderer's
+        own policy, so a partial batch is not released until its oldest
+        transaction has waited out ``batch_timeout`` — the backpressure a
+        drip-feeding client actually experiences.
         """
         channel = self.channel(channel_name)
         if not self.orderer.available():
@@ -418,7 +440,7 @@ class FabricNetwork(Platform):
                     ),
                 )
                 self.orderer.submit(proposal.tx)
-            batch = self.orderer.cut_batch(channel_name, force=True)
+            batch = self.orderer.cut_batch(channel_name, force=force_cut)
         return self._commit_block(channel, proposals, batch.released_at)
 
     def _commit_block(
@@ -460,14 +482,21 @@ class FabricNetwork(Platform):
             ) as validate_span:
                 code = ValidationCode.VALID
                 # 1. Endorsement policy of the (single committed) chaincode.
+                # Every live committing peer validates independently (the
+                # honest Fabric model); the signature-verification cache
+                # turns the repeats into lookups.
                 contract_id = self._contract_of(channel, tx)
                 if contract_id is not None:
                     policy = channel.committed_definition(contract_id).policy
+                    validators = [
+                        m for m in sorted(channel.members) if m not in crashed
+                    ] or [None]
                     try:
-                        verify_endorsements(
-                            tx, policy, self.scheme,
-                            lambda n: self.parties[n].public_key,
-                        )
+                        for __ in validators:
+                            verify_endorsements(
+                                tx, policy, self.scheme,
+                                lambda n: self.parties[n].public_key,
+                            )
                     except EndorsementError:
                         code = ValidationCode.ENDORSEMENT_POLICY_FAILURE
                 # 2. MVCC read-set check against the evolving state.
@@ -518,6 +547,141 @@ class FabricNetwork(Platform):
         if len(committed) == 1:
             return committed[0]
         return None
+
+    # ------------------------------------------------------------------
+    # Unified transaction pipeline (Platform hooks)
+    #
+    # A TxRequest routes through the *same* propose -> order -> validate
+    # -> commit path as the native entrypoints.  Fabric-specific mapping:
+    # ``scope`` is the channel (inferred from the committed chaincode when
+    # omitted), ``private_args`` are PDC collection writes, and
+    # ``options`` may carry ``endorsers`` / ``anonymous``.  ``private_for``
+    # is refused — Fabric's confidentiality tools are channels and PDCs,
+    # not ad-hoc participant lists.
+    # ------------------------------------------------------------------
+
+    def _request_channel(self, request: TxRequest) -> str:
+        if request.scope:
+            return request.scope
+        channel_name = self.contract_channels.get(request.contract_id)
+        if channel_name is None:
+            raise PlatformError(
+                f"cannot infer a channel for contract {request.contract_id!r}; "
+                "set TxRequest.scope"
+            )
+        return channel_name
+
+    def _check_request(self, request: TxRequest) -> None:
+        if request.private_for is not None:
+            raise PlatformError(
+                "fabric expresses confidentiality through channels and "
+                "private data collections; TxRequest.private_for is not "
+                "supported — use scope and private_args"
+            )
+
+    def _receipt_from(
+        self, request: TxRequest, result: InvokeResult, submitted_at: float
+    ) -> TxReceipt:
+        return TxReceipt(
+            request=request,
+            platform=self.platform_name,
+            tx_id=result.tx.tx_id,
+            committed=result.valid,
+            status="committed" if result.valid else result.validation_code.value,
+            submitted_at=submitted_at,
+            committed_at=result.commit_time,
+            result=result.return_value,
+            info={
+                "channel": result.tx.channel,
+                "validation_code": result.validation_code.value,
+            },
+        )
+
+    def _submit_one_native(self, request: TxRequest) -> TxReceipt:
+        self._check_request(request)
+        channel_name = self._request_channel(request)
+        submitted_at = self.clock.now
+        result = self.invoke(
+            channel_name,
+            request.submitter,
+            request.contract_id,
+            request.function,
+            dict(request.args),
+            endorsers=request.options.get("endorsers"),
+            collection_writes=request.private_args,
+            anonymous=request.options.get("anonymous", False),
+        )
+        return self._receipt_from(request, result, submitted_at)
+
+    def _submit_batch_native(
+        self, requests: list[TxRequest], force_cut: bool
+    ) -> list[TxReceipt]:
+        # Endorse every request first (all against the same committed
+        # snapshot — this is how real Fabric clients create MVCC read
+        # conflicts), then order each channel's proposals as one batch.
+        receipts: list[TxReceipt | None] = [None] * len(requests)
+        by_channel: dict[str, list[tuple[int, ProposedTransaction, float]]] = {}
+        channel_order: list[str] = []
+        for index, request in enumerate(requests):
+            submitted_at = self.clock.now
+            try:
+                self._check_request(request)
+                channel_name = self._request_channel(request)
+                proposal = self.propose(
+                    channel_name,
+                    request.submitter,
+                    request.contract_id,
+                    request.function,
+                    dict(request.args),
+                    endorsers=request.options.get("endorsers"),
+                    collection_writes=request.private_args,
+                    anonymous=request.options.get("anonymous", False),
+                )
+            except ReproError as error:
+                receipts[index] = rejection_receipt(
+                    request, self.platform_name, submitted_at, error
+                )
+                continue
+            if channel_name not in by_channel:
+                channel_order.append(channel_name)
+            by_channel.setdefault(channel_name, []).append(
+                (index, proposal, submitted_at)
+            )
+        for channel_name in channel_order:
+            entries = by_channel[channel_name]
+            try:
+                results = self.submit_batch(
+                    channel_name,
+                    [proposal for __, proposal, __ in entries],
+                    force_cut=force_cut,
+                )
+            except ReproError as error:
+                for index, __, submitted_at in entries:
+                    receipts[index] = rejection_receipt(
+                        requests[index], self.platform_name, submitted_at, error
+                    )
+                continue
+            for (index, __, submitted_at), result in zip(entries, results):
+                receipts[index] = self._receipt_from(
+                    requests[index], result, submitted_at
+                )
+        return receipts
+
+    def _state_snapshot(self) -> dict:
+        channels = {}
+        for name in sorted(self.channels):
+            channel = self.channels[name]
+            channels[name] = {
+                "members": sorted(channel.members),
+                "height": channel.chain.height,
+                "committed": sorted(channel.committed_tx_ids),
+                "invalid": sorted(channel.invalid_tx_ids),
+                "replicas": {
+                    member: channel.states[member].snapshot()
+                    for member in sorted(channel.members)
+                },
+            }
+        return {"platform": self.platform_name, "channels": channels}
 
     # ------------------------------------------------------------------
     # Crash recovery (Platform hooks)

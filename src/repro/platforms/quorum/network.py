@@ -38,7 +38,13 @@ from repro.ledger.ordering import OrdererVisibility, OrderingService
 from repro.ledger.state import WorldState
 from repro.ledger.transaction import Transaction, WriteEntry
 from repro.network.messages import Exposure
-from repro.platforms.base import Platform, ProbeResult, SupportLevel
+from repro.platforms.base import (
+    Platform,
+    ProbeResult,
+    SupportLevel,
+    TxReceipt,
+    TxRequest,
+)
 from repro.platforms.quorum.txmanager import PrivateTransactionManager
 from repro.recovery.catchup import catchup_dedup_key, pick_provider, ship
 
@@ -253,6 +259,7 @@ class QuorumNetwork(Platform):
         """A normal Ethereum-style transaction: everyone sees everything."""
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
+        self.authenticate(sender)
         if self.network.is_crashed(sender):
             raise DeliveryError(f"node {sender!r} is down")
         self._require_sequencer()
@@ -323,6 +330,7 @@ class QuorumNetwork(Platform):
         """
         if sender not in self.parties:
             raise MembershipError(f"{sender!r} is not onboarded")
+        self.authenticate(sender)
         if self.network.is_crashed(sender):
             raise DeliveryError(f"node {sender!r} is down")
         self._require_sequencer()
@@ -419,6 +427,74 @@ class QuorumNetwork(Platform):
             tx=tx, payload_hash=payload_hash,
             participants=participants, return_values=return_values,
         )
+
+    # ------------------------------------------------------------------
+    # Unified transaction pipeline (Platform hooks)
+    #
+    # Quorum mapping: ``private_for`` selects the private-transaction
+    # path (payload to participants, hash to everyone — with the
+    # documented participant-list leak); otherwise the public path runs.
+    # ``private_args`` is refused: private payloads must stay replayable
+    # to rebuild private state, so deletable off-ledger data contradicts
+    # the architecture (Table 1's off-chain peer data '-').  The
+    # sequencer cuts per transaction natively, so ``force_cut`` has no
+    # batch to act on and the default sequential batch hook applies.
+    # ------------------------------------------------------------------
+
+    def _submit_one_native(self, request: TxRequest) -> TxReceipt:
+        if request.private_args is not None:
+            raise PlatformError(
+                "quorum private payloads must remain replayable to rebuild "
+                "private state; deletable TxRequest.private_args data is "
+                "architecturally unsupported"
+            )
+        submitted_at = self.clock.now
+        if request.private_for:
+            result = self.send_private_transaction(
+                request.submitter,
+                request.contract_id,
+                request.function,
+                dict(request.args),
+                private_for=list(request.private_for),
+            )
+        else:
+            result = self.send_public_transaction(
+                request.submitter,
+                request.contract_id,
+                request.function,
+                dict(request.args),
+            )
+        return TxReceipt(
+            request=request,
+            platform=self.platform_name,
+            tx_id=result.tx.tx_id,
+            committed=True,
+            status="committed",
+            submitted_at=submitted_at,
+            committed_at=self.clock.now,
+            result=result,
+            info={
+                "kind": result.tx.metadata.get("kind"),
+                "participants": list(result.participants),
+                "payload_hash": result.payload_hash,
+                "height": self.chain.height,
+            },
+        )
+
+    def _state_snapshot(self) -> dict:
+        return {
+            "platform": self.platform_name,
+            "height": self.chain.height,
+            "chain": [tx.tx_id for tx in self.chain.transactions()],
+            "public": {
+                name: self.public_states[name].snapshot()
+                for name in sorted(self.parties)
+            },
+            "private": {
+                name: self.private_states[name].snapshot()
+                for name in sorted(self.parties)
+            },
+        }
 
     def redeliver_pending(self) -> int:
         """Serve queued private payloads to now-reachable participants.

@@ -29,6 +29,7 @@ from repro.core.requirements import (
     UseCaseRequirements,
 )
 from repro.execution.contracts import SmartContract
+from repro.platforms.base import TxRequest
 from repro.platforms.fabric import FabricNetwork
 
 
@@ -211,18 +212,21 @@ class LetterOfCreditWorkflow:
         with self.telemetry.span(
             "loc.apply", loc_id=loc_id, buyer_passport=buyer_passport
         ):
-            result = self.network.invoke(
-                self.channel_name, "BuyerCo", self.contract_id, "apply",
-                {
+            receipt = self.network.submit(TxRequest(
+                submitter="BuyerCo",
+                contract_id=self.contract_id,
+                function="apply",
+                args={
                     "loc_id": loc_id, "buyer": "BuyerCo", "seller": "SellerCo",
                     "bank": "IssuingBank", "amount": amount,
                 },
-                endorsers=self.live_endorsers(),
-                collection_writes={
+                scope=self.channel_name,
+                private_args={
                     "kyc-pii": {f"passport/{loc_id}": {"number": buyer_passport}}
                 },
-            )
-        loc = result.return_value
+                options={"endorsers": self.live_endorsers()},
+            ))
+        loc = receipt.result
         return LetterOfCredit(
             loc_id=loc["loc_id"], buyer=loc["buyer"], seller=loc["seller"],
             issuing_bank=loc["issuing_bank"], amount=loc["amount"],
@@ -231,14 +235,17 @@ class LetterOfCreditWorkflow:
 
     def _advance(self, step: str, actor: str, loc_id: str) -> str:
         with self.telemetry.span(f"loc.{step}", loc_id=loc_id, actor=actor):
-            result = self.network.invoke(
-                self.channel_name, actor, self.contract_id, "advance",
-                {"loc_id": loc_id},
+            receipt = self.network.submit(TxRequest(
+                submitter=actor,
+                contract_id=self.contract_id,
+                function="advance",
+                args={"loc_id": loc_id},
+                scope=self.channel_name,
                 # Endorse on live peers only: with a k-of-n policy the
                 # lifecycle survives a crashed member until it recovers.
-                endorsers=self.live_endorsers(),
-            )
-        return result.return_value["status"]
+                options={"endorsers": self.live_endorsers()},
+            ))
+        return receipt.result["status"]
 
     def issue(self, loc_id: str) -> str:
         """The bank vouches for the buyer."""

@@ -11,6 +11,7 @@ described by (generator, parameters, seed).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -60,11 +61,16 @@ class ZipfianKeys:
             self._cdf.append(cumulative)
 
     def draw(self, rng: DeterministicRNG) -> str:
+        # Binary search over the CDF; this sits on the inner loop of every
+        # Zipfian workload, where a linear scan costs O(key_count) per op.
+        # bisect_left finds the first rank whose cumulative bound reaches
+        # the drawn point — identical to the previous linear `point <=
+        # bound` scan, including ties.
         point = rng.uniform(0.0, 1.0)
-        for rank, bound in enumerate(self._cdf):
-            if point <= bound:
-                return f"key-{rank:04d}"
-        return f"key-{self.key_count - 1:04d}"
+        rank = bisect.bisect_left(self._cdf, point)
+        if rank >= self.key_count:  # guard against float round-off at 1.0
+            rank = self.key_count - 1
+        return f"key-{rank:04d}"
 
 
 def kv_update_stream(
@@ -109,6 +115,66 @@ def trade_stream(
             instrument=rng.choice(instruments),
             notional=(1 + rng.randint_below(100)) * 100_000,
             confidential=rng.uniform(0.0, 1.0) < confidential_fraction,
+        )
+
+
+#: The full letter-of-credit lifecycle, in order (paper §4 use case).
+LOC_STAGES = ("apply", "issue", "ship", "pay")
+
+
+@dataclass(frozen=True)
+class LoCApplication:
+    """One letter-of-credit application and how far it progresses.
+
+    ``stages`` is a prefix of :data:`LOC_STAGES`: every application is
+    applied for, but only a fraction are issued, shipped against, and
+    paid — the mix a trade-finance platform actually sees.
+    """
+
+    loc_id: str
+    applicant: str
+    beneficiary: str
+    amount: int
+    stages: tuple[str, ...]
+
+    @property
+    def completed(self) -> bool:
+        return self.stages == LOC_STAGES
+
+
+def loc_stream(
+    applicants: list[str],
+    beneficiaries: list[str],
+    applications: int,
+    completion_fraction: float = 0.75,
+    seed: str = "loc-workload",
+) -> Iterator[LoCApplication]:
+    """Letter-of-credit applications with a configurable completion mix.
+
+    A ``completion_fraction`` of applications run the full
+    apply/issue/ship/pay lifecycle; the rest stop uniformly at an earlier
+    stage (rejected, in transit, or awaiting payment).
+    """
+    if not applicants or not beneficiaries:
+        raise ValueError("need at least one applicant and one beneficiary")
+    if not (0.0 <= completion_fraction <= 1.0):
+        raise ValueError("completion_fraction must be in [0, 1]")
+    rng = DeterministicRNG(seed)
+    for index in range(applications):
+        applicant = rng.choice(applicants)
+        beneficiary = rng.choice(
+            [b for b in beneficiaries if b != applicant] or beneficiaries
+        )
+        if rng.uniform(0.0, 1.0) < completion_fraction:
+            depth = len(LOC_STAGES)
+        else:
+            depth = 1 + rng.randint_below(len(LOC_STAGES) - 1)
+        yield LoCApplication(
+            loc_id=f"loc-{index:05d}",
+            applicant=applicant,
+            beneficiary=beneficiary,
+            amount=(1 + rng.randint_below(500)) * 10_000,
+            stages=LOC_STAGES[:depth],
         )
 
 

@@ -155,3 +155,48 @@ class TestMembershipService:
         sig = scheme.sign(key, b"msg")
         assert service.verify_member_signature(scheme, "alice", b"msg", sig)
         assert not service.verify_member_signature(scheme, "alice", b"other", sig)
+
+
+class TestChainCache:
+    def test_repeat_verification_hits_cache(self, ca, identity):
+        __, cert = identity
+        ca.verify(cert)
+        before = ca.cache_info()
+        ca.verify(cert)
+        after = ca.cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_expiry_still_enforced_after_cache_warm(self, ca, identity, clock):
+        """Only the issuer-signature check is memoized: the validity
+        window is evaluated live on every call."""
+        __, cert = identity
+        ca.verify(cert)  # warm the chain cache
+        clock.advance(cert.not_after + 1.0)
+        with pytest.raises(CertificateError, match="expired|valid"):
+            ca.verify(cert)
+
+    def test_revocation_still_enforced_after_cache_warm(self, ca, identity):
+        __, cert = identity
+        ca.verify(cert)  # warm the chain cache
+        ca.revoke(cert.serial)
+        with pytest.raises(CertificateError, match="revoked"):
+            ca.verify(cert)
+
+    def test_tampered_cert_misses_cached_true(self, ca, identity):
+        from dataclasses import replace
+
+        __, cert = identity
+        ca.verify(cert)
+        tampered = replace(cert, subject="mallory")
+        with pytest.raises(CertificateError):
+            ca.verify(tampered)
+
+    def test_reset_cache(self, ca, identity):
+        __, cert = identity
+        ca.verify(cert)
+        ca.verify(cert)
+        ca.reset_cache()
+        assert ca.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        ca.verify(cert)
+        assert ca.cache_info()["misses"] == 1

@@ -99,3 +99,58 @@ class TestProperties:
         scheme = SignatureScheme()
         key = scheme.keygen_from_seed("prop")
         assert not scheme.verify(key.public, m2, scheme.sign(key, m1))
+
+
+class TestVerifyCache:
+    def test_repeat_verification_hits_cache(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        assert scheme.verify(keypair.public, b"message", sig)
+        before = scheme.cache_info()
+        assert scheme.verify(keypair.public, b"message", sig)
+        after = scheme.cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_negative_results_are_cached_too(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        assert not scheme.verify(keypair.public, b"other", sig)
+        hits = scheme.cache_info()["hits"]
+        assert not scheme.verify(keypair.public, b"other", sig)
+        assert scheme.cache_info()["hits"] == hits + 1
+
+    def test_forged_signature_cannot_alias_cached_true(self, scheme, keypair):
+        """The full signature is in the cache key: warming the cache with
+        the genuine signature must not make a tampered one pass."""
+        sig = scheme.sign(keypair, b"message")
+        assert scheme.verify(keypair.public, b"message", sig)
+        forged = Signature(challenge=sig.challenge,
+                           response=(sig.response + 1) % scheme.group.q)
+        assert not scheme.verify(keypair.public, b"message", forged)
+
+    def test_other_key_cannot_alias_cached_true(self, scheme, keypair, rng):
+        sig = scheme.sign(keypair, b"message")
+        assert scheme.verify(keypair.public, b"message", sig)
+        other = scheme.keygen(rng)
+        assert not scheme.verify(other.public, b"message", sig)
+
+    def test_reset_cache_zeroes_counters(self, scheme, keypair):
+        sig = scheme.sign(keypair, b"message")
+        scheme.verify(keypair.public, b"message", sig)
+        scheme.verify(keypair.public, b"message", sig)
+        scheme.reset_cache()
+        assert scheme.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        # Next verification is a miss again, and still correct.
+        assert scheme.verify(keypair.public, b"message", sig)
+        assert scheme.cache_info()["misses"] == 1
+
+    def test_eviction_keeps_cache_bounded(self, scheme, keypair, monkeypatch):
+        import repro.crypto.signatures as signatures_module
+
+        monkeypatch.setattr(signatures_module, "VERIFY_CACHE_MAX", 8)
+        for n in range(25):
+            message = f"m{n}".encode()
+            scheme.verify(keypair.public, message, scheme.sign(keypair, message))
+        assert scheme.cache_info()["size"] <= 8
+        # Entries that survived (or are re-inserted) still verify correctly.
+        sig = scheme.sign(keypair, b"m24")
+        assert scheme.verify(keypair.public, b"m24", sig)

@@ -1,0 +1,174 @@
+"""The unified submission API: receipts, rejections, cache counters.
+
+Each platform keeps its own privacy architecture — the pipeline only
+normalizes the submission lifecycle.  Requests that a platform cannot
+express honestly (Table 1's "no" cells) are rejected loudly instead of
+silently downgraded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    ContractError,
+    MembershipError,
+    PlatformError,
+)
+from repro.driver import kv_scenario, trade_scenario
+from repro.platforms.base import TxRequest, rejection_receipt
+
+
+def _request(**overrides) -> TxRequest:
+    base = dict(
+        submitter="OrgA", contract_id="kv-store", function="put",
+        args={"key": "k", "value": 1},
+    )
+    base.update(overrides)
+    return TxRequest(**base)
+
+
+class TestReceipts:
+    def test_fabric_receipt_carries_lifecycle(self):
+        scenario = kv_scenario("fabric", 1, seed="api")
+        receipt = scenario.platform.submit(scenario.requests[0])
+        assert receipt.platform == "fabric"
+        assert receipt.committed
+        assert receipt.status == "committed"
+        assert receipt.tx_id
+        assert receipt.committed_at > receipt.submitted_at
+        assert receipt.latency == pytest.approx(
+            receipt.committed_at - receipt.submitted_at
+        )
+        assert receipt.result == scenario.requests[0].args["value"]
+        assert receipt.info["channel"] == "kv-channel"
+
+    def test_corda_receipt_references_output_states(self):
+        scenario = kv_scenario("corda", 1, seed="api")
+        receipt = scenario.platform.submit(scenario.requests[0])
+        assert receipt.committed
+        assert receipt.tx_id
+        assert receipt.info["output_refs"] == [[receipt.tx_id, 0]]
+
+    def test_quorum_receipt_distinguishes_private_path(self):
+        scenario = trade_scenario("quorum", 4, confidential_fraction=1.0,
+                                  seed="api")
+        receipt = scenario.platform.submit(scenario.requests[0])
+        assert receipt.committed
+        assert receipt.info["kind"] == "private"
+        assert scenario.requests[0].submitter in receipt.info["participants"]
+
+    def test_pipeline_counters_track_submissions(self):
+        scenario = kv_scenario("fabric", 3, seed="api-counters")
+        for request in scenario.requests:
+            scenario.platform.submit(request)
+        counters = scenario.platform.telemetry.metrics.snapshot()["counters"]
+        assert counters["pipeline.submitted{platform=fabric}"] == 3
+        assert counters["pipeline.committed{platform=fabric}"] == 3
+        assert "pipeline.failed{platform=fabric}" not in counters
+
+
+class TestErrorPropagation:
+    """submit() raises exactly what the native entrypoint would."""
+
+    def test_unknown_submitter_raises_membership_error(self):
+        scenario = kv_scenario("fabric", 1, seed="api-err")
+        with pytest.raises(MembershipError):
+            scenario.platform.submit(_request(submitter="Mallory"))
+
+    def test_unknown_function_raises_contract_error(self):
+        scenario = kv_scenario("quorum", 1, seed="api-err")
+        with pytest.raises(ContractError):
+            scenario.platform.submit(_request(function="missing"))
+
+    def test_fabric_mvcc_loser_surfaces_in_receipt(self):
+        """Conflicting read-modify-writes in one in-flight batch: the
+        loser's receipt carries the validation code, not 'committed'."""
+        from repro.execution.contracts import SmartContract
+
+        scenario = kv_scenario("fabric", 1, seed="api-err")
+        platform = scenario.platform
+
+        def increment(view, args):
+            view.put(args["key"], view.get(args["key"], 0) + 1)
+            return view.get(args["key"])
+
+        platform.deploy_chaincode(
+            "kv-channel",
+            SmartContract("counter", 1, "python-chaincode",
+                          {"inc": increment}),
+            ["OrgA", "OrgB"],
+        )
+        conflicting = [
+            _request(submitter=org, contract_id="counter", function="inc",
+                     args={"key": "hot"})
+            for org in ("OrgA", "OrgB")
+        ]
+        receipts = platform.submit_many(conflicting)
+        assert [r.committed for r in receipts] == [True, False]
+        assert receipts[1].status != "committed"
+        assert receipts[1].tx_id  # it was ordered, then invalidated
+
+    def test_fabric_unroutable_contract_needs_scope(self):
+        scenario = kv_scenario("fabric", 1, seed="api-err")
+        with pytest.raises(PlatformError, match="scope"):
+            scenario.platform.submit(_request(contract_id="nowhere"))
+
+
+class TestCapabilityRejections:
+    """Table-1 honesty: unsupported confidentiality shapes are refused."""
+
+    def test_fabric_rejects_private_for(self):
+        scenario = kv_scenario("fabric", 1, seed="api-cap")
+        with pytest.raises(PlatformError, match="channels"):
+            scenario.platform.submit(_request(private_for=("OrgB",)))
+
+    def test_corda_rejects_private_args(self):
+        scenario = kv_scenario("corda", 1, seed="api-cap")
+        with pytest.raises(PlatformError, match="participants"):
+            scenario.platform.submit(_request(private_args={"c": {"k": 1}}))
+
+    def test_corda_requires_registered_flow(self):
+        scenario = kv_scenario("corda", 1, seed="api-cap")
+        with pytest.raises(PlatformError, match="register_flow"):
+            scenario.platform.submit(_request(function="unregistered"))
+
+    def test_quorum_rejects_private_args(self):
+        scenario = kv_scenario("quorum", 1, seed="api-cap")
+        with pytest.raises(PlatformError, match="replayable"):
+            scenario.platform.submit(_request(private_args={"c": {"k": 1}}))
+
+
+class TestSubmitMany:
+    def test_errors_become_rejection_receipts(self):
+        scenario = kv_scenario("quorum", 2, seed="api-batch")
+        bad = _request(function="missing")
+        receipts = scenario.platform.submit_many(
+            [scenario.requests[0], bad, scenario.requests[1]]
+        )
+        assert [r.committed for r in receipts] == [True, False, True]
+        assert receipts[1].status == "rejected:ContractError"
+        assert receipts[1].tx_id is None
+        assert "missing" in receipts[1].info["error"]
+
+    def test_rejection_receipt_shape(self):
+        receipt = rejection_receipt(
+            _request(), "quorum", submitted_at=1.5,
+            error=ContractError("boom"),
+        )
+        assert not receipt.committed
+        assert receipt.status == "rejected:ContractError"
+        assert receipt.latency is None
+
+
+class TestCryptoCacheStats:
+    def test_stats_expose_both_caches(self):
+        scenario = kv_scenario("fabric", 4, seed="api-cache")
+        for request in scenario.requests:
+            scenario.platform.submit(request)
+        stats = scenario.platform.crypto_cache_stats()
+        assert set(stats) == {"signature_verify", "certificate_chain"}
+        for cache in stats.values():
+            assert set(cache) == {"hits", "misses", "size"}
+        # Repeated submissions by the same orgs re-verify the same certs.
+        assert stats["certificate_chain"]["hits"] > 0

@@ -140,3 +140,53 @@ class TestConvergeCommand:
         payload = json.loads(capsys.readouterr().out)
         assert [r["platform"] for r in payload] == ["quorum"]
         assert all(r["ok"] for r in payload)
+
+
+class TestBenchCommand:
+    def test_bench_default_kv_on_fabric(self, capsys):
+        assert main(["bench", "--ops", "10", "--batch", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "driver run on fabric" in out
+        assert "throughput" in out
+        assert "signature_verify" in out
+
+    def test_bench_json_payload(self, capsys):
+        assert main([
+            "bench", "--platform", "quorum", "--workload", "trades",
+            "--ops", "6", "--batch", "3", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["platform"] == "quorum"
+        assert payload["workload"] == "trades"
+        assert payload["operations"] == 6
+        assert payload["failed"] == 0
+        assert "cache_stats" in payload
+
+    def test_bench_loc_on_corda(self, capsys):
+        assert main([
+            "bench", "--platform", "corda", "--workload", "loc",
+            "--ops", "4", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["committed"] == payload["operations"] > 0
+
+    def test_bench_skew_changes_workload(self, capsys):
+        assert main(["bench", "--ops", "12", "--skew", "2.0", "--json"]) == 0
+        skewed = json.loads(capsys.readouterr().out)
+        assert skewed["scenario"]["skew"] == 2.0
+
+    def test_bench_no_force_cut_slows_drip_feed(self, capsys):
+        assert main([
+            "bench", "--ops", "5", "--batch", "1", "--no-force-cut", "--json",
+        ]) == 0
+        drip = json.loads(capsys.readouterr().out)
+        assert main([
+            "bench", "--ops", "5", "--batch", "5", "--json",
+        ]) == 0
+        batched = json.loads(capsys.readouterr().out)
+        assert drip["force_cut"] is False
+        assert batched["throughput_tps"] > drip["throughput_tps"]
+
+    def test_bench_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--workload", "nope"])

@@ -8,8 +8,10 @@ from hypothesis import strategies as st
 
 from repro.common.rng import DeterministicRNG
 from repro.workloads import (
+    LOC_STAGES,
     ZipfianKeys,
     kv_update_stream,
+    loc_stream,
     measure_contention,
     trade_stream,
 )
@@ -100,3 +102,103 @@ class TestTradeStream:
 
     def test_notional_positive(self):
         assert all(t.notional > 0 for t in trade_stream(["a", "b"], 100))
+
+    def test_deterministic_for_seed(self):
+        a = list(trade_stream(["a", "b", "c"], 50, seed="t"))
+        b = list(trade_stream(["a", "b", "c"], 50, seed="t"))
+        assert a == b
+
+
+class TestZipfSkewMonotonicity:
+    def test_hottest_key_share_rises_with_skew(self):
+        """Contention is monotone in the skew knob across a ladder."""
+        shares = [
+            measure_contention(
+                list(kv_update_stream(["s"], 3000, key_count=32, skew=skew))
+            ).hottest_key_share
+            for skew in (0.0, 0.5, 1.0, 1.5, 2.0)
+        ]
+        assert shares == sorted(shares)
+        assert shares[-1] > shares[0]
+
+    def test_distinct_keys_shrink_with_skew(self):
+        uniform = measure_contention(
+            list(kv_update_stream(["s"], 500, key_count=64, skew=0.0))
+        )
+        skewed = measure_contention(
+            list(kv_update_stream(["s"], 500, key_count=64, skew=2.5))
+        )
+        assert skewed.distinct_keys < uniform.distinct_keys
+
+    def test_skew_zero_is_uniform_cdf(self):
+        keys = ZipfianKeys(10, skew=0.0)
+        assert keys._cdf[0] == pytest.approx(0.1)
+        assert keys._cdf[-1] == pytest.approx(1.0)
+
+    def test_bisect_draw_handles_cdf_edges(self):
+        """Draws at the extreme ends of [0, 1) stay within the keyspace."""
+
+        class PinnedRNG:
+            def __init__(self, value):
+                self.value = value
+
+            def uniform(self, low, high):
+                return self.value
+
+        keys = ZipfianKeys(4, skew=1.0)
+        assert keys.draw(PinnedRNG(0.0)) == "key-0000"
+        assert keys.draw(PinnedRNG(0.9999999)) == "key-0003"
+        assert keys.draw(PinnedRNG(1.0)) == "key-0003"
+
+
+class TestLoCStream:
+    def test_deterministic_for_seed(self):
+        a = list(loc_stream(["a", "b"], ["c", "d"], 40, seed="l"))
+        b = list(loc_stream(["a", "b"], ["c", "d"], 40, seed="l"))
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = list(loc_stream(["a", "b"], ["c", "d"], 40, seed="l1"))
+        b = list(loc_stream(["a", "b"], ["c", "d"], 40, seed="l2"))
+        assert a != b
+
+    def test_stages_are_lifecycle_prefixes(self):
+        for application in loc_stream(["a"], ["b"], 200):
+            depth = len(application.stages)
+            assert 1 <= depth <= len(LOC_STAGES)
+            assert application.stages == LOC_STAGES[:depth]
+
+    def test_completion_fraction_bounds(self):
+        done = [
+            app.completed
+            for app in loc_stream(["a"], ["b"], 400, completion_fraction=0.75)
+        ]
+        share = sum(done) / len(done)
+        assert 0.6 < share < 0.9
+        assert all(
+            app.completed
+            for app in loc_stream(["a"], ["b"], 50, completion_fraction=1.0)
+        )
+        assert not any(
+            app.completed
+            for app in loc_stream(["a"], ["b"], 50, completion_fraction=0.0)
+        )
+
+    def test_applicant_never_own_beneficiary(self):
+        for app in loc_stream(["a", "b"], ["a", "b", "c"], 200):
+            assert app.applicant != app.beneficiary
+
+    def test_single_overlapping_party_still_generates(self):
+        apps = list(loc_stream(["a"], ["a"], 10))
+        assert len(apps) == 10  # degenerate pool falls back, never empty
+
+    def test_amounts_positive_and_ids_unique(self):
+        apps = list(loc_stream(["a"], ["b"], 100))
+        assert all(app.amount > 0 for app in apps)
+        assert len({app.loc_id for app in apps}) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(loc_stream([], ["b"], 10))
+        with pytest.raises(ValueError):
+            list(loc_stream(["a"], ["b"], 10, completion_fraction=-0.1))
